@@ -1,0 +1,32 @@
+// Command indexsize regenerates the paper's Table 1: the size of the
+// compact interval tree versus the standard interval tree on stand-ins for
+// the Bunny, MRBrain, CTHead, Pressure and Velocity datasets (plus the RM
+// data itself).
+//
+// Example:
+//
+//	indexsize -n 128
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexsize: ")
+	var (
+		n    = flag.Int("n", 96, "stand-in dataset edge length in samples")
+		seed = flag.Uint64("seed", 7, "generator seed")
+	)
+	flag.Parse()
+	rows, err := harness.Table1(*n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.PrintTable1(os.Stdout, rows)
+}

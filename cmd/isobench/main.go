@@ -1,0 +1,150 @@
+// Command isobench regenerates the paper's evaluation tables and figures
+// from the command line (the same drivers back the go-test benchmarks in
+// bench_test.go).
+//
+// Examples:
+//
+//	isobench -experiment all
+//	isobench -experiment table2 -size small
+//	isobench -experiment fig4 -out fig4.ppm
+//	isobench -experiment ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("isobench: ")
+	var (
+		exp  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|all")
+		size = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
+		out  = flag.String("out", "figure4.ppm", "output image path for fig4")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultRM()
+	if *size == "small" {
+		cfg = harness.Small()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		rows, err := harness.Table1(96, 7)
+		check(err)
+		section("Table 1: indexing structure sizes")
+		harness.PrintTable1(os.Stdout, rows)
+	}
+	for procs, name := range map[int]string{1: "table2", 2: "table3", 4: "table4", 8: "table5"} {
+		if !want(name) {
+			continue
+		}
+		ran = true
+		rows, err := harness.PerfTable(cfg, procs, harness.PerfOptions{})
+		check(err)
+		section(fmt.Sprintf("%s: performance on %d node(s)", strings.ToUpper(name[:1])+name[1:], procs))
+		harness.PrintPerfTable(os.Stdout, procs, rows)
+	}
+	if want("table6") {
+		ran = true
+		rows, err := harness.BalanceTable(cfg, 4, "metacells")
+		check(err)
+		section("Table 6: active metacell distribution (4 nodes)")
+		harness.PrintBalanceTable(os.Stdout, "metacells", rows)
+	}
+	if want("table7") {
+		ran = true
+		rows, err := harness.BalanceTable(cfg, 4, "triangles")
+		check(err)
+		section("Table 7: triangle distribution (4 nodes)")
+		harness.PrintBalanceTable(os.Stdout, "triangles", rows)
+	}
+	if want("table8") {
+		ran = true
+		t8 := cfg
+		t8.NX, t8.NY, t8.NZ = cfg.NX/2, cfg.NY/2, cfg.NZ/2
+		var steps []int
+		for s := 180; s <= 195; s++ {
+			steps = append(steps, s)
+		}
+		rows, idx, err := harness.Table8(t8, steps, 70, 4)
+		check(err)
+		section("Table 8: time-varying browsing (iso 70, 4 nodes)")
+		harness.PrintTable8(os.Stdout, 70, 4, rows, idx)
+	}
+	if want("fig5") || want("fig6") {
+		ran = true
+		pts, err := harness.ScalingSeries(cfg, []int{1, 2, 4, 8}, harness.PerfOptions{})
+		check(err)
+		if want("fig5") {
+			section("Figure 5: overall time vs isovalue")
+			harness.PrintFigure5(os.Stdout, []int{1, 2, 4, 8}, pts)
+		}
+		if want("fig6") {
+			section("Figure 6: speedup vs isovalue")
+			harness.PrintFigure6(os.Stdout, []int{1, 2, 4, 8}, pts)
+		}
+	}
+	if want("fig4") {
+		ran = true
+		res, err := harness.Figure4(cfg, 190, 4, 1024, 768, *out)
+		check(err)
+		section("Figure 4: isosurface render (iso 190)")
+		fmt.Printf("triangles: %d, covered pixels: %d, image: %s\n", res.Triangles, res.CoveredPixels, *out)
+	}
+	if want("ablations") {
+		ran = true
+		ir, err := harness.AblationIndexStructures(cfg)
+		check(err)
+		section("Ablation: index structures")
+		harness.PrintIndexAblation(os.Stdout, ir)
+
+		dr, err := harness.AblationDistribution(cfg, 4)
+		check(err)
+		section("Ablation: data distribution (4 nodes)")
+		harness.PrintDistributionAblation(os.Stdout, 4, dr)
+
+		br, err := harness.AblationBulkRead(cfg)
+		check(err)
+		section("Ablation: bulk brick reads vs scattered reads")
+		harness.PrintBulkReadAblation(os.Stdout, br)
+
+		mr, err := harness.AblationMetacellSize(cfg, 110, []int{5, 9, 17})
+		check(err)
+		section("Ablation: metacell size")
+		harness.PrintMetacellSizeAblation(os.Stdout, 110, mr)
+
+		hr, err := harness.AblationHostDispatch(cfg, 110, []int{2, 4, 8})
+		check(err)
+		section("Ablation: host dispatch vs independent nodes")
+		harness.PrintDispatchAblation(os.Stdout, 110, hr)
+
+		qr, err := harness.AblationQueryStructures(cfg, 110)
+		check(err)
+		section("Ablation: query acceleration structures")
+		harness.PrintQueryStructuresAblation(os.Stdout, 110, qr)
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package blockio
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel returned by a FaultDevice when it fires.
+var ErrInjected = errors.New("blockio: injected I/O fault")
+
+// FaultDevice wraps a Device and fails every Nth read, for exercising the
+// error paths of the query and cluster engines in tests.
+type FaultDevice struct {
+	Inner Device
+	// FailEvery makes every FailEvery-th read return ErrInjected
+	// (1 = every read). Zero disables injection.
+	FailEvery int64
+
+	calls atomic.Int64
+}
+
+// ReadAt delegates to the inner device unless this call is selected for
+// failure.
+func (d *FaultDevice) ReadAt(p []byte, off int64) error {
+	n := d.calls.Add(1)
+	if d.FailEvery > 0 && n%d.FailEvery == 0 {
+		return ErrInjected
+	}
+	return d.Inner.ReadAt(p, off)
+}
+
+// Size returns the inner device's size.
+func (d *FaultDevice) Size() int64 { return d.Inner.Size() }
+
+// Stats returns the inner device's counters.
+func (d *FaultDevice) Stats() Stats { return d.Inner.Stats() }
+
+// ResetStats resets the inner device's counters (injection state is kept).
+func (d *FaultDevice) ResetStats() { d.Inner.ResetStats() }

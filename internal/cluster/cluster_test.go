@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/march"
+	"repro/internal/volume"
+)
+
+func rmGrid() *volume.Grid { return volume.RichtmyerMeshkov(33, 33, 30, 230, 7) }
+
+func TestBuildDefaults(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Layout.Span != 9 {
+		t.Errorf("default span = %d", e.Layout.Span)
+	}
+	if e.TotalMetacells == 0 || e.DataBytes == 0 {
+		t.Error("no data distributed")
+	}
+	if e.TotalMetacells+e.DroppedMetacells != e.Layout.Count() {
+		t.Error("kept + dropped != total metacells")
+	}
+}
+
+func TestBuildRejectsZeroProcs(t *testing.T) {
+	if _, err := Build(rmGrid(), Config{}); err == nil {
+		t.Error("Procs 0 should fail")
+	}
+}
+
+func TestExtractMatchesReferenceAcrossProcs(t *testing.T) {
+	g := rmGrid()
+	for _, iso := range []float32{60, 128, 190} {
+		ref, _ := march.Grid(g, iso)
+		for _, procs := range []int{1, 2, 4, 8} {
+			e, err := Build(g, Config{Procs: procs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Extract(iso, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Triangles != ref.Len() {
+				t.Errorf("p=%d iso=%v: %d triangles, reference %d", procs, iso, res.Triangles, ref.Len())
+			}
+		}
+	}
+}
+
+func TestExtractTotalsConsistent(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active, tris int
+	for _, n := range res.PerNode {
+		active += n.ActiveMetacells
+		tris += n.Triangles
+	}
+	if active != res.Active || tris != res.Triangles {
+		t.Error("totals do not match per-node sums")
+	}
+	if res.Wall <= 0 || res.MaxNodeTime() <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestLoadBalanceAcrossIsovalues(t *testing.T) {
+	// The paper's Tables 6–7 property: active metacells and triangles are
+	// spread almost evenly across nodes for every isovalue.
+	e, err := Build(volume.RichtmyerMeshkov(65, 65, 60, 230, 3), Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iso := float32(10); iso <= 210; iso += 40 {
+		res, err := e.Extract(iso, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Active < 100 {
+			continue // too small to judge balance
+		}
+		lo, hi := res.PerNode[0].ActiveMetacells, res.PerNode[0].ActiveMetacells
+		for _, n := range res.PerNode {
+			if n.ActiveMetacells < lo {
+				lo = n.ActiveMetacells
+			}
+			if n.ActiveMetacells > hi {
+				hi = n.ActiveMetacells
+			}
+		}
+		avg := float64(res.Active) / float64(len(res.PerNode))
+		if float64(hi) > 1.15*avg || float64(lo) < 0.85*avg {
+			t.Errorf("iso %v: metacell imbalance lo=%d hi=%d avg=%.0f", iso, lo, hi, avg)
+		}
+	}
+}
+
+func TestKeepMeshes(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Extract(128, Options{KeepMeshes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.PerNode {
+		if n.Mesh == nil {
+			t.Fatal("mesh not kept")
+		}
+		if n.Mesh.Len() != n.Triangles {
+			t.Errorf("node %d mesh len %d != triangles %d", n.Node, n.Mesh.Len(), n.Triangles)
+		}
+	}
+	res2, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res2.PerNode {
+		if n.Mesh != nil {
+			t.Error("mesh kept without KeepMeshes")
+		}
+	}
+}
+
+func TestFileBackedNodes(t *testing.T) {
+	dir := t.TempDir()
+	g := rmGrid()
+	e, err := Build(g, Config{Procs: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := march.Grid(g, 128)
+	if res.Triangles != ref.Len() {
+		t.Errorf("file-backed: %d triangles, reference %d", res.Triangles, ref.Len())
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveFiles(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOAccountingPerNode(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.PerNode {
+		if n.ActiveMetacells > 0 {
+			if n.IOStats.BlocksRead == 0 {
+				t.Errorf("node %d: active metacells but no blocks read", n.Node)
+			}
+			if n.IOModelTime <= 0 {
+				t.Errorf("node %d: no modeled I/O time", n.Node)
+			}
+			wantBytes := int64(n.ActiveMetacells) * int64(e.Layout.RecordSize())
+			if n.IOStats.BytesRead < wantBytes {
+				t.Errorf("node %d: read %d bytes < active payload %d", n.Node, n.IOStats.BytesRead, wantBytes)
+			}
+		}
+	}
+}
+
+func TestTimeVarying(t *testing.T) {
+	gen := volume.TimeVaryingRM(17, 17, 16, 5)
+	steps := []int{100, 150, 200}
+	tv, err := BuildTimeVarying(gen, steps, Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tv.StepsIndexed(); len(got) != 3 || got[0] != 100 {
+		t.Errorf("StepsIndexed = %v", got)
+	}
+	if tv.Index.NumSteps() != 3 {
+		t.Errorf("index steps = %d", tv.Index.NumSteps())
+	}
+	for _, s := range steps {
+		res, err := tv.Extract(s, 70, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := march.Grid(gen(s), 70)
+		if res.Triangles != ref.Len() {
+			t.Errorf("step %d: %d triangles, reference %d", s, res.Triangles, ref.Len())
+		}
+	}
+	if _, err := tv.Extract(999, 70, Options{}); err == nil {
+		t.Error("unindexed step should fail")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if e.Tree(i) == nil || e.Device(i) == nil {
+			t.Fatalf("node %d accessors nil", i)
+		}
+	}
+	if e.Tree(0).NumCells+e.Tree(1).NumCells != e.TotalMetacells {
+		t.Error("per-node cells do not sum to total")
+	}
+}
+
+func TestPreprocessingDropsConstantMetacellsRM(t *testing.T) {
+	// Paper §7: preprocessing shrinks the RM data by ≈50%.
+	g := volume.RichtmyerMeshkov(65, 65, 60, 250, 1)
+	e, err := Build(g, Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(e.DroppedMetacells) / float64(e.Layout.Count())
+	if frac < 0.15 || frac > 0.8 {
+		t.Errorf("dropped fraction = %.2f, want substantial (paper ≈0.5)", frac)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := rmGrid()
+	e, err := Build(g, Config{Procs: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, 0, blockio.DiskModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Procs != 3 || re.TotalMetacells != e.TotalMetacells || re.Layout != e.Layout {
+		t.Fatal("reopened engine metadata mismatch")
+	}
+	got, err := re.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Triangles != want.Triangles || got.Active != want.Active {
+		t.Errorf("reopened extraction: %d tris / %d active, want %d / %d",
+			got.Triangles, got.Active, want.Triangles, want.Active)
+	}
+}
+
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := Open(t.TempDir(), 0, blockio.DiskModel{}); err == nil {
+		t.Error("missing manifest should fail")
+	}
+}
+
+func TestExtractSurvivesUntilFault(t *testing.T) {
+	// A node whose disk fails must surface the error from Extract rather
+	// than panic or silently return a partial surface.
+	e, err := Build(rmGrid(), Config{
+		Procs: 2,
+		WrapDevice: func(node int, dev blockio.Device) blockio.Device {
+			if node == 1 {
+				return &blockio.FaultDevice{Inner: dev, FailEvery: 1}
+			}
+			return dev
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Extract(128, Options{}); err == nil {
+		t.Error("extraction with a failing disk should return an error")
+	}
+}
+
+func TestWrapDeviceObservesReads(t *testing.T) {
+	reads := make([]int, 2)
+	e, err := Build(rmGrid(), Config{
+		Procs: 2,
+		WrapDevice: func(node int, dev blockio.Device) blockio.Device {
+			return &countingDevice{Device: dev, n: &reads[node]}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Extract(128, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if reads[0] == 0 || reads[1] == 0 {
+		t.Errorf("wrapped devices saw no reads: %v", reads)
+	}
+}
+
+type countingDevice struct {
+	blockio.Device
+	n *int
+}
+
+func (d *countingDevice) ReadAt(p []byte, off int64) error {
+	*d.n++
+	return d.Device.ReadAt(p, off)
+}
+
+func TestBuildFromVolumeFile(t *testing.T) {
+	g := rmGrid()
+	path := filepath.Join(t.TempDir(), "vol.bin")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := BuildFromVolumeFile(path, Config{Procs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Build(g, Config{Procs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.TotalMetacells != direct.TotalMetacells || streamed.DataBytes != direct.DataBytes {
+		t.Fatal("streamed preprocessing differs from in-memory")
+	}
+	a, err := streamed.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := direct.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Triangles != b.Triangles || a.Active != b.Active {
+		t.Errorf("streamed: %d tris/%d active, direct: %d/%d", a.Triangles, a.Active, b.Triangles, b.Active)
+	}
+	if _, err := BuildFromVolumeFile(filepath.Join(t.TempDir(), "nope"), Config{Procs: 1}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestThreadsPerNodeSameResult(t *testing.T) {
+	g := rmGrid()
+	ref, _ := march.Grid(g, 128)
+	for _, threads := range []int{1, 2, 4} {
+		e, err := Build(g, Config{Procs: 2, ThreadsPerNode: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Extract(128, Options{KeepMeshes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Triangles != ref.Len() {
+			t.Errorf("threads=%d: %d triangles, want %d", threads, res.Triangles, ref.Len())
+		}
+		var cells int
+		for _, n := range res.PerNode {
+			cells += n.ActiveCells
+			if n.Mesh.Len() != n.Triangles {
+				t.Errorf("threads=%d node %d: mesh/count mismatch", threads, n.Node)
+			}
+		}
+	}
+}
+
+func TestThreadsMoreThanRecords(t *testing.T) {
+	// More threads than active metacells must degrade gracefully.
+	e, err := Build(volume.Sphere(17), Config{Procs: 1, ThreadsPerNode: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := march.Grid(volume.Sphere(17), 128)
+	if res.Triangles != ref.Len() {
+		t.Errorf("%d triangles, want %d", res.Triangles, ref.Len())
+	}
+}
+
+func TestOpenDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Build(rmGrid(), Config{Procs: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in node 1's brick file.
+	path := nodePath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0, blockio.DiskModel{}); err == nil {
+		t.Error("corrupted brick file should fail to open")
+	}
+}
+
+func TestTimeVaryingSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	gen := volume.TimeVaryingRM(17, 17, 16, 5)
+	steps := []int{100, 200}
+	tv, err := BuildTimeVaryingDirs(gen, steps, Config{Procs: 2}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tv.Extract(200, 70, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenTimeVarying(dir, 0, blockio.DiskModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.StepsIndexed(); len(got) != 2 || got[1] != 200 {
+		t.Fatalf("StepsIndexed = %v", got)
+	}
+	got, err := re.Extract(200, 70, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Triangles != want.Triangles {
+		t.Errorf("reopened: %d triangles, want %d", got.Triangles, want.Triangles)
+	}
+	if re.Index.NumSteps() != 2 {
+		t.Errorf("index steps = %d", re.Index.NumSteps())
+	}
+	if _, err := OpenTimeVarying(t.TempDir(), 0, blockio.DiskModel{}); err == nil {
+		t.Error("missing steps manifest should fail")
+	}
+}

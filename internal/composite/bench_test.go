@@ -1,0 +1,26 @@
+package composite
+
+import (
+	"testing"
+
+	"repro/internal/render"
+)
+
+// BenchmarkZComposite8 measures merging eight 512² framebuffers, the
+// sort-last step of an 8-node configuration.
+func BenchmarkZComposite8(b *testing.B) {
+	srcs := make([]*render.Framebuffer, 8)
+	for i := range srcs {
+		srcs[i] = render.NewFramebuffer(512, 512)
+		for p := i; p < len(srcs[i].Depth); p += 8 {
+			srcs[i].Depth[p] = float32(p % 97)
+			srcs[i].Color[p] = render.RGB{R: uint8(i * 30)}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ZComposite(srcs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

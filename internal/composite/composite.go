@@ -1,0 +1,147 @@
+// Package composite implements the paper's sort-last parallel rendering
+// back end (§6): each cluster node renders its local triangles into a
+// full-resolution framebuffer; the framebuffers — color and z — are then
+// merged depth-wise, and the merged image is split into the tile regions of
+// the wall-sized display, one per display server.
+//
+// The package also accounts for the bytes a real cluster would move over
+// the interconnect during the shuffle, which the paper observes is orders
+// of magnitude smaller than the extracted triangle data.
+package composite
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/render"
+)
+
+// Stats reports the communication volume of one composite.
+type Stats struct {
+	Sources    int   // framebuffers merged
+	BytesMoved int64 // color+depth bytes shuffled between nodes
+}
+
+// ZComposite merges the source framebuffers into a new one, keeping the
+// nearest fragment per pixel — exactly the z-buffer test the paper's
+// rendering servers apply to incoming buffer regions. All sources must share
+// one resolution.
+func ZComposite(srcs ...*render.Framebuffer) (*render.Framebuffer, Stats, error) {
+	if len(srcs) == 0 {
+		return nil, Stats{}, fmt.Errorf("composite: no sources")
+	}
+	w, h := srcs[0].W, srcs[0].H
+	for i, s := range srcs {
+		if s.W != w || s.H != h {
+			return nil, Stats{}, fmt.Errorf("composite: source %d is %d×%d, want %d×%d", i, s.W, s.H, w, h)
+		}
+	}
+	dst := render.NewFramebuffer(w, h)
+	var st Stats
+	st.Sources = len(srcs)
+	for _, s := range srcs {
+		st.BytesMoved += s.SizeBytes()
+	}
+	// The merge is embarrassingly parallel across pixel ranges — on the real
+	// cluster each display server composites its own region concurrently —
+	// so split the buffer across the available cores.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	n := len(dst.Depth)
+	if n < 1<<14 {
+		workers = 1 // not worth the goroutines for small buffers
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo, hi := wkr*n/workers, (wkr+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, s := range srcs {
+				for i := lo; i < hi; i++ {
+					if s.Depth[i] < dst.Depth[i] {
+						dst.Depth[i] = s.Depth[i]
+						dst.Color[i] = s.Color[i]
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst, st, nil
+}
+
+// Tile is one display server's region of the wall display.
+type Tile struct {
+	X, Y int // tile coordinates in the tiling grid
+	FB   *render.Framebuffer
+}
+
+// SplitTiles cuts a framebuffer into a tx×ty grid of tiles, one per display
+// server (the paper uses a 2×2 four-projector wall). The framebuffer
+// dimensions must divide evenly.
+func SplitTiles(fb *render.Framebuffer, tx, ty int) ([]Tile, error) {
+	if tx <= 0 || ty <= 0 || fb.W%tx != 0 || fb.H%ty != 0 {
+		return nil, fmt.Errorf("composite: cannot split %d×%d into %d×%d tiles", fb.W, fb.H, tx, ty)
+	}
+	tw, th := fb.W/tx, fb.H/ty
+	var tiles []Tile
+	for y := 0; y < ty; y++ {
+		for x := 0; x < tx; x++ {
+			t := Tile{X: x, Y: y, FB: render.NewFramebuffer(tw, th)}
+			for r := 0; r < th; r++ {
+				srcOff := (y*th+r)*fb.W + x*tw
+				dstOff := r * tw
+				copy(t.FB.Color[dstOff:dstOff+tw], fb.Color[srcOff:srcOff+tw])
+				copy(t.FB.Depth[dstOff:dstOff+tw], fb.Depth[srcOff:srcOff+tw])
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles, nil
+}
+
+// Assemble reverses SplitTiles, stitching tiles back into one framebuffer
+// (used to save the wall image as a single file).
+func Assemble(tiles []Tile, tx, ty int) (*render.Framebuffer, error) {
+	if len(tiles) != tx*ty || len(tiles) == 0 {
+		return nil, fmt.Errorf("composite: %d tiles for a %d×%d wall", len(tiles), tx, ty)
+	}
+	tw, th := tiles[0].FB.W, tiles[0].FB.H
+	fb := render.NewFramebuffer(tw*tx, th*ty)
+	for _, t := range tiles {
+		if t.FB.W != tw || t.FB.H != th {
+			return nil, fmt.Errorf("composite: tile sizes differ")
+		}
+		if t.X < 0 || t.X >= tx || t.Y < 0 || t.Y >= ty {
+			return nil, fmt.Errorf("composite: tile (%d,%d) outside %d×%d wall", t.X, t.Y, tx, ty)
+		}
+		for r := 0; r < th; r++ {
+			dstOff := (t.Y*th+r)*fb.W + t.X*tw
+			srcOff := r * tw
+			copy(fb.Color[dstOff:dstOff+tw], t.FB.Color[srcOff:srcOff+tw])
+			copy(fb.Depth[dstOff:dstOff+tw], t.FB.Depth[srcOff:srcOff+tw])
+		}
+	}
+	return fb, nil
+}
+
+// SortLast runs the full paper pipeline: z-composite the per-node
+// framebuffers and split the result across a tx×ty tiled display. In the
+// real cluster the split happens before the merge (regions are shuffled to
+// their display servers and merged there); the result and the bytes moved
+// are identical, so this ordering keeps the code simpler.
+func SortLast(srcs []*render.Framebuffer, tx, ty int) ([]Tile, Stats, error) {
+	merged, st, err := ZComposite(srcs...)
+	if err != nil {
+		return nil, st, err
+	}
+	tiles, err := SplitTiles(merged, tx, ty)
+	if err != nil {
+		return nil, st, err
+	}
+	return tiles, st, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/metacell"
+	"repro/internal/volume"
+)
+
+func buildExternal(t *testing.T, l metacell.Layout, cells []metacell.Cell) (*ExternalTree, blockio.Device) {
+	t.Helper()
+	p := Plan(cells)
+	w := blockio.NewWriter()
+	tree, err := p.Materialize(l, cells, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, _, err := BuildExternal(tree, blockio.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return et, blockio.NewStore(w.Bytes(), blockio.DefaultBlockSize)
+}
+
+func TestExternalMatchesInMemory(t *testing.T) {
+	l := testLayout()
+	cells := synthCells(l, 700, 41)
+	tree, dev := materialize(t, l, cells)
+	et, _, err := BuildExternal(tree, blockio.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.NumNodes() != len(tree.Nodes) {
+		t.Fatalf("external has %d nodes, tree %d", et.NumNodes(), len(tree.Nodes))
+	}
+	for iso := float32(0); iso <= 255; iso += 17 {
+		want := queryIDs(t, tree, dev, iso)
+		got := map[uint32]bool{}
+		st, err := et.Query(dev, iso, func(rec []byte) error {
+			got[metacell.IDOfRecord(rec)] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) || st.ActiveMetacells != len(want) {
+			t.Fatalf("iso %v: external %d active, in-memory %d", iso, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("iso %v: %d missing from external query", iso, id)
+			}
+		}
+	}
+}
+
+func TestExternalIndexIOBounded(t *testing.T) {
+	// The point of the blocked layout: a query touches O(log_B n) index
+	// blocks, far fewer than one per node.
+	l := testLayout()
+	cells := synthCells(l, 3000, 42)
+	et, dev := buildExternal(t, l, cells)
+	et.IndexDevice().ResetStats()
+	st, err := et.Query(dev, 128, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := et.IndexDevice().Stats()
+	if idx.Reads != int64(st.NodesVisited) {
+		t.Errorf("%d index reads for %d nodes visited", idx.Reads, st.NodesVisited)
+	}
+	// The BFS layout packs the whole path into a handful of blocks.
+	if idx.BlocksRead > int64(2*st.NodesVisited) {
+		t.Errorf("%d index blocks for a %d-node path", idx.BlocksRead, st.NodesVisited)
+	}
+}
+
+func TestExternalFloat32LargeN(t *testing.T) {
+	// The scenario the external index exists for: float fields where n is
+	// large.
+	g := volume.PressureLike(24, 9)
+	l, cells := metacell.Extract(g, 5)
+	tree, dev := materialize(t, l, cells)
+	et, _, err := BuildExternal(tree, blockio.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells[:8] {
+		iso := (c.VMin + c.VMax) / 2
+		want := len(bruteActive(cells, iso))
+		n := 0
+		if _, err := et.Query(dev, iso, func([]byte) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("iso %v: %d active, want %d", iso, n, want)
+		}
+	}
+}
+
+func TestExternalOpenRoundTrip(t *testing.T) {
+	l := testLayout()
+	cells := synthCells(l, 400, 43)
+	tree, dev := materialize(t, l, cells)
+	_, image, err := BuildExternal(tree, blockio.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenExternal(l, blockio.NewStore(image, blockio.DefaultBlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.NumNodes() != len(tree.Nodes) {
+		t.Fatalf("reopened %d nodes, want %d", reopened.NumNodes(), len(tree.Nodes))
+	}
+	for _, iso := range []float32{40, 128, 230} {
+		want := queryIDs(t, tree, dev, iso)
+		n := 0
+		if _, err := reopened.Query(dev, iso, func([]byte) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("iso %v: reopened %d active, want %d", iso, n, len(want))
+		}
+	}
+}
+
+func TestExternalEmpty(t *testing.T) {
+	et, image, err := BuildExternal(&Tree{Layout: testLayout(), Root: -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(image) != 0 || et.NumNodes() != 0 {
+		t.Error("empty tree produced nodes")
+	}
+	n := 0
+	if _, err := et.Query(blockio.NewStore(nil, 0), 10, func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Error("empty external tree returned records")
+	}
+	reopened, err := OpenExternal(testLayout(), blockio.NewStore(nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.NumNodes() != 0 {
+		t.Error("reopened empty tree has nodes")
+	}
+}
+
+func TestExternalCorruptImage(t *testing.T) {
+	// A garbage image must be rejected, not crash.
+	junk := make([]byte, 64)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	if _, err := OpenExternal(testLayout(), blockio.NewStore(junk, 0)); err == nil {
+		t.Error("corrupt image should fail to open")
+	}
+}

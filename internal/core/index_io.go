@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/metacell"
+	"repro/internal/volume"
+)
+
+// indexMagic identifies the on-disk index header ("CIT1").
+const indexMagic = 0x43495431
+
+// WriteTo serializes the tree index. The format is little-endian:
+// header (magic, layout, root, node count), then per node the split value,
+// child links, entry count and entries.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		m, err := bw.Write(b[:])
+		n += int64(m)
+		return err
+	}
+	put64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		m, err := bw.Write(b[:])
+		n += int64(m)
+		return err
+	}
+	putF := func(v float32) error { return put32(math.Float32bits(v)) }
+
+	hdr := []uint32{
+		indexMagic,
+		uint32(t.Layout.Span), uint32(t.Layout.Fmt),
+		uint32(t.Layout.Nx), uint32(t.Layout.Ny), uint32(t.Layout.Nz),
+		uint32(t.Layout.Mx), uint32(t.Layout.My), uint32(t.Layout.Mz),
+		uint32(t.Root), uint32(t.NumCells), uint32(len(t.Nodes)),
+	}
+	for _, v := range hdr {
+		if err := put32(v); err != nil {
+			return n, err
+		}
+	}
+	for _, nd := range t.Nodes {
+		if err := putF(nd.VM); err != nil {
+			return n, err
+		}
+		if err := put32(uint32(nd.Left)); err != nil {
+			return n, err
+		}
+		if err := put32(uint32(nd.Right)); err != nil {
+			return n, err
+		}
+		if err := put32(uint32(len(nd.Entries))); err != nil {
+			return n, err
+		}
+		for _, e := range nd.Entries {
+			if err := putF(e.VMax); err != nil {
+				return n, err
+			}
+			if err := putF(e.MinVMin); err != nil {
+				return n, err
+			}
+			if err := put64(uint64(e.Offset)); err != nil {
+				return n, err
+			}
+			if err := put32(uint32(e.Count)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTree deserializes a tree index written by WriteTo.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	var hdr [12]uint32
+	for i := range hdr {
+		v, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", hdr[0])
+	}
+	f := volume.Format(hdr[2])
+	if f != volume.U8 && f != volume.U16 && f != volume.F32 {
+		return nil, fmt.Errorf("core: bad scalar format %d", hdr[2])
+	}
+	t := &Tree{
+		Layout: metacell.Layout{
+			Span: int(hdr[1]), Fmt: f,
+			Nx: int(hdr[3]), Ny: int(hdr[4]), Nz: int(hdr[5]),
+			Mx: int(hdr[6]), My: int(hdr[7]), Mz: int(hdr[8]),
+		},
+		Root:     int32(hdr[9]),
+		NumCells: int(hdr[10]),
+	}
+	numNodes := int(hdr[11])
+	if numNodes < 0 || numNodes > 1<<28 {
+		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
+	}
+	t.Nodes = make([]Node, numNodes)
+	for i := range t.Nodes {
+		vm, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading node %d: %w", i, err)
+		}
+		l, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		rr, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		ne, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if int(ne) > t.NumCells && t.NumCells > 0 {
+			return nil, fmt.Errorf("core: node %d claims %d entries for %d cells", i, ne, t.NumCells)
+		}
+		nd := Node{VM: math.Float32frombits(vm), Left: int32(l), Right: int32(rr)}
+		nd.Entries = make([]IndexEntry, ne)
+		for j := range nd.Entries {
+			vmax, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			vmin, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			off, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			nd.Entries[j] = IndexEntry{
+				VMax:    math.Float32frombits(vmax),
+				MinVMin: math.Float32frombits(vmin),
+				Offset:  int64(off),
+				Count:   int32(cnt),
+			}
+		}
+		t.Nodes[i] = nd
+	}
+	return t, nil
+}
+
+// WriteFile writes the index to a file.
+func (t *Tree) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTreeFile reads an index from a file.
+func ReadTreeFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTree(f)
+}

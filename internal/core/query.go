@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/metacell"
+)
+
+// QueryStats summarizes the work of one isosurface query against one disk.
+type QueryStats struct {
+	ActiveMetacells int // metacell records delivered to the visitor
+	NodesVisited    int // tree nodes on the root-to-leaf path
+	BulkReads       int // Case-1 contiguous multi-brick reads
+	BrickScans      int // Case-2 bricks scanned from the front
+	BricksSkipped   int // Case-2 bricks skipped via their MinVMin field
+}
+
+// Query streams the records of every metacell whose interval contains iso
+// (vmin ≤ iso ≤ vmax) from dev to visit, performing the paper's I/O-optimal
+// walk: O(log n) index decisions plus O(T/B) block reads for T bytes of
+// active metacells. The record slice passed to visit is reused; the visitor
+// must not retain it.
+func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) error) (QueryStats, error) {
+	var st QueryStats
+	recSize := t.Layout.RecordSize()
+	// Case-2 scans read one disk block's worth of records at a time, so the
+	// over-read past the stopping metacell is at most one block, matching
+	// the paper's cost model.
+	chunkRecs := blockio.DefaultBlockSize / recSize
+	if chunkRecs < 1 {
+		chunkRecs = 1
+	}
+	buf := make([]byte, chunkRecs*recSize)
+
+	n := t.Root
+	for n >= 0 {
+		node := &t.Nodes[n]
+		st.NodesVisited++
+		if iso >= node.VM {
+			// Case 1: every metacell in the prefix of bricks with
+			// vmax ≥ iso is active (their vmin ≤ vm ≤ iso). The bricks are
+			// contiguous on disk, so fetch them with a single bulk read.
+			if err := t.bulkRead(dev, node, iso, recSize, visit, &st); err != nil {
+				return st, err
+			}
+			n = node.Right
+		} else {
+			// Case 2: every brick has vmax ≥ vm > iso; the active metacells
+			// are each brick's prefix with vmin ≤ iso. Bricks whose smallest
+			// vmin exceeds iso are skipped with no I/O.
+			for ei := range node.Entries {
+				e := &node.Entries[ei]
+				if e.MinVMin > iso {
+					st.BricksSkipped++
+					continue
+				}
+				st.BrickScans++
+				if err := t.scanBrick(dev, e, iso, recSize, buf, visit, &st); err != nil {
+					return st, err
+				}
+			}
+			n = node.Left
+		}
+	}
+	return st, nil
+}
+
+// bulkRead performs the Case-1 read: one contiguous fetch of all bricks with
+// vmax ≥ iso. Entries are in decreasing vmax order and their bricks adjacent
+// on disk.
+func (t *Tree) bulkRead(dev blockio.Device, node *Node, iso float32, recSize int, visit func([]byte) error, st *QueryStats) error {
+	last := -1
+	var total int64
+	for ei := range node.Entries {
+		if node.Entries[ei].VMax < iso {
+			break
+		}
+		last = ei
+		total += int64(node.Entries[ei].Count) * int64(recSize)
+	}
+	if last < 0 {
+		return nil
+	}
+	start := node.Entries[0].Offset
+	buf := make([]byte, total)
+	if err := dev.ReadAt(buf, start); err != nil {
+		return fmt.Errorf("core: bulk read of %d bricks at %d: %w", last+1, start, err)
+	}
+	st.BulkReads++
+	for off := 0; off < len(buf); off += recSize {
+		st.ActiveMetacells++
+		if err := visit(buf[off : off+recSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanBrick performs the Case-2 scan of one brick: read records from the
+// front, block-sized chunks at a time, until one has vmin > iso or the brick
+// is exhausted.
+func (t *Tree) scanBrick(dev blockio.Device, e *IndexEntry, iso float32, recSize int, buf []byte, visit func([]byte) error, st *QueryStats) error {
+	remaining := int(e.Count)
+	off := e.Offset
+	for remaining > 0 {
+		n := len(buf) / recSize
+		if n > remaining {
+			n = remaining
+		}
+		chunk := buf[:n*recSize]
+		if err := dev.ReadAt(chunk, off); err != nil {
+			return fmt.Errorf("core: scanning brick at %d: %w", e.Offset, err)
+		}
+		for i := 0; i < n; i++ {
+			rec := chunk[i*recSize : (i+1)*recSize]
+			if metacell.VMinOfRecord(t.Layout, rec) > iso {
+				return nil // records are vmin-sorted: the prefix has ended
+			}
+			st.ActiveMetacells++
+			if err := visit(rec); err != nil {
+				return err
+			}
+		}
+		remaining -= n
+		off += int64(n * recSize)
+	}
+	return nil
+}
+
+// CountActive returns only the number of active metacells for iso, without
+// touching the data device: it walks the index and, for Case-2 bricks,
+// counts via the same prefix rule the query uses but on a records-only
+// scan. It still performs the Case-2 I/O (the counts are on disk), so its
+// main use is in tests and balance tables where the visitor work is not
+// wanted.
+func (t *Tree) CountActive(dev blockio.Device, iso float32) (int, error) {
+	st, err := t.Query(dev, iso, func([]byte) error { return nil })
+	return st.ActiveMetacells, err
+}

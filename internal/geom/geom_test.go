@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float32) bool {
+	return float32(math.Abs(float64(a-b))) <= eps
+}
+
+func TestVecArithmetic(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float32) bool {
+		// Keep magnitudes in a range where float32 products cannot overflow.
+		bound := func(v float32) bool {
+			return v == v && v > -1e6 && v < 1e6
+		}
+		for _, v := range []float32{ax, ay, az, bx, by, bz} {
+			if !bound(v) {
+				return true // out of scope for this property
+			}
+		}
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		c := a.Cross(b)
+		// Tolerance scales with magnitudes.
+		tol := (a.Len() + 1) * (b.Len() + 1) * 1e-3
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossBasis(t *testing.T) {
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := V(3, 4, 0).Normalize()
+	if !almostEq(n.Len(), 1, 1e-6) {
+		t.Errorf("normalized length = %v", n.Len())
+	}
+	if z := (Vec3{}).Normalize(); z != (Vec3{}) {
+		t.Errorf("zero normalize = %v", z)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := a.Lerp(b, 0.5); got != V(1, 2, 3) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestTriangleAreaNormal(t *testing.T) {
+	tr := Triangle{A: V(0, 0, 0), B: V(1, 0, 0), C: V(0, 1, 0)}
+	if !almostEq(tr.Area(), 0.5, 1e-6) {
+		t.Errorf("area = %v", tr.Area())
+	}
+	if n := tr.UnitNormal(); !almostEq(n.Z, 1, 1e-6) {
+		t.Errorf("normal = %v", n)
+	}
+	if tr.Degenerate() {
+		t.Error("non-degenerate triangle reported degenerate")
+	}
+	deg := Triangle{A: V(0, 0, 0), B: V(1, 1, 1), C: V(2, 2, 2)}
+	if !deg.Degenerate() {
+		t.Error("degenerate triangle not detected")
+	}
+}
+
+func TestTriangleCentroid(t *testing.T) {
+	tr := Triangle{A: V(0, 0, 0), B: V(3, 0, 0), C: V(0, 3, 0)}
+	if got := tr.Centroid(); got != V(1, 1, 0) {
+		t.Errorf("centroid = %v", got)
+	}
+}
+
+func TestMesh(t *testing.T) {
+	var m Mesh
+	if m.Len() != 0 || !m.Bounds().Empty() {
+		t.Fatal("empty mesh not empty")
+	}
+	m.Append(Triangle{A: V(0, 0, 0), B: V(1, 0, 0), C: V(0, 1, 0)})
+	m.Append(Triangle{A: V(-1, 2, 3), B: V(1, 0, 0), C: V(0, 1, 0)})
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	b := m.Bounds()
+	if b.Min != V(-1, 0, 0) || b.Max != V(1, 2, 3) {
+		t.Errorf("bounds = %+v", b)
+	}
+	if m.TotalArea() <= 0 {
+		t.Error("TotalArea should be positive")
+	}
+}
+
+func TestAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.Empty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	b := e.ExtendPoint(V(1, 2, 3))
+	if b.Empty() || !b.Contains(V(1, 2, 3)) {
+		t.Fatal("ExtendPoint failed")
+	}
+	b = b.ExtendPoint(V(-1, 0, 5))
+	if !b.Contains(V(0, 1, 4)) {
+		t.Error("box should contain interior point")
+	}
+	if b.Contains(V(10, 0, 0)) {
+		t.Error("box should not contain exterior point")
+	}
+	if c := b.Center(); c != V(0, 1, 4) {
+		t.Errorf("center = %v", c)
+	}
+	if s := b.Size(); s != V(2, 2, 2) {
+		t.Errorf("size = %v", s)
+	}
+}
+
+func TestAABBUnion(t *testing.T) {
+	a := EmptyAABB().ExtendPoint(V(0, 0, 0)).ExtendPoint(V(1, 1, 1))
+	b := EmptyAABB().ExtendPoint(V(2, 2, 2)).ExtendPoint(V(3, 3, 3))
+	u := a.Union(b)
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("union = %+v", u)
+	}
+	if got := EmptyAABB().Union(a); got != a {
+		t.Errorf("empty union = %+v", got)
+	}
+	if got := a.Union(EmptyAABB()); got != a {
+		t.Errorf("union empty = %+v", got)
+	}
+}
+
+func TestNewellNormal(t *testing.T) {
+	// CCW unit square in the XY plane has Newell normal (0,0,+2·area).
+	poly := []Vec3{V(0, 0, 0), V(1, 0, 0), V(1, 1, 0), V(0, 1, 0)}
+	n := NewellNormal(poly)
+	if !almostEq(n.X, 0, 1e-6) || !almostEq(n.Y, 0, 1e-6) || n.Z <= 0 {
+		t.Errorf("Newell normal = %v", n)
+	}
+	if !almostEq(n.Len()/2, 1, 1e-6) {
+		t.Errorf("Newell magnitude/2 = %v, want polygon area 1", n.Len()/2)
+	}
+}

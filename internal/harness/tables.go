@@ -1,0 +1,384 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/intervaltree"
+	"repro/internal/metacell"
+	"repro/internal/render"
+	"repro/internal/volume"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — index structure sizes: compact interval tree vs standard
+// interval tree, over stand-ins for the paper's datasets.
+
+// Table1Row compares the two index structures on one dataset.
+type Table1Row struct {
+	Name      string
+	Dims      string
+	Format    string
+	Metacells int   // N: intervals indexed
+	Endpoints int   // n: distinct endpoint values
+	CITBytes  int64 // compact interval tree size
+	StdBytes  int64 // standard interval tree size
+	Ratio     float64
+}
+
+// Table1 builds both index structures for synthetic stand-ins of the
+// paper's Table 1 datasets (Bunny, MRBrain, CTHead, Pressure, Velocity; see
+// DESIGN.md §2) and reports their sizes. n controls the stand-in grid edge.
+func Table1(n int, seed uint64) ([]Table1Row, error) {
+	sets := []struct {
+		name string
+		grid *volume.Grid
+	}{
+		{"Bunny", volume.BunnyLike(n, seed)},
+		{"MRBrain", volume.MRBrainLike(n, seed)},
+		{"CTHead", volume.CTHeadLike(n, seed)},
+		{"Pressure", volume.PressureLike(n, seed)},
+		{"Velocity", volume.VelocityLike(n, seed)},
+		{"RM step 250", volume.RichtmyerMeshkov(n, n, n, 250, seed)},
+	}
+	var rows []Table1Row
+	for _, s := range sets {
+		l, cells := metacell.Extract(s.grid, metacell.DefaultSpan)
+		w := nullWriter()
+		cit, err := core.Plan(cells).Materialize(l, cells, w)
+		if err != nil {
+			return nil, fmt.Errorf("harness: table 1 %s: %w", s.name, err)
+		}
+		ivs := make([]intervaltree.Interval, len(cells))
+		endpoints := map[float32]struct{}{}
+		for i, c := range cells {
+			ivs[i] = intervaltree.Interval{VMin: c.VMin, VMax: c.VMax, ID: c.ID}
+			endpoints[c.VMin] = struct{}{}
+			endpoints[c.VMax] = struct{}{}
+		}
+		it := intervaltree.Build(s.grid.Fmt, ivs)
+		row := Table1Row{
+			Name:      s.name,
+			Dims:      fmt.Sprintf("%d³", n),
+			Format:    s.grid.Fmt.String(),
+			Metacells: len(cells),
+			Endpoints: len(endpoints),
+			CITBytes:  cit.IndexSizeBytes(),
+			StdBytes:  it.SizeBytes(),
+		}
+		if row.CITBytes > 0 {
+			row.Ratio = float64(row.StdBytes) / float64(row.CITBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows as a text table.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tdims\tfmt\tN metacells\tn endpoints\tcompact IT\tstandard IT\tstd/compact")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\t%s\t%.1f×\n",
+			r.Name, r.Dims, r.Format, r.Metacells, r.Endpoints,
+			fmtBytes(r.CITBytes), fmtBytes(r.StdBytes), r.Ratio)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Tables 2–5 — extraction + rendering performance on 1, 2, 4 and 8 nodes
+// over the isovalue sweep.
+
+// PerfRow is one isovalue's row of a performance table: the paper's metrics
+// (triangle count, AMC retrieval time, triangulation time, rendering time,
+// overall rate), where times are the slowest node's.
+type PerfRow struct {
+	Iso       float32
+	Active    int
+	Triangles int
+
+	AMCModel time.Duration // slowest node's modeled disk time for retrieval
+	AMCWall  time.Duration // slowest node's measured retrieval wall time
+	TriWall  time.Duration // slowest node's triangulation wall time
+	RendWall time.Duration // slowest node's local rendering wall time
+
+	Overall time.Duration // max-node (AMCModel+TriWall+RendWall) + composite
+	Rate    float64       // Triangles/Overall, Mtri/s
+}
+
+// PerfOptions tunes the performance tables.
+type PerfOptions struct {
+	FrameW, FrameH int  // rendering resolution; 0 = 512×512
+	SkipRender     bool // measure extraction only
+}
+
+// PerfTable runs the isovalue sweep on the given node count, producing one
+// row per isovalue. This regenerates Table 2 (procs=1), Table 3 (2),
+// Table 4 (4) and Table 5 (8).
+func PerfTable(cfg RMConfig, procs int, opt PerfOptions) ([]PerfRow, error) {
+	if opt.FrameW == 0 {
+		opt.FrameW = 512
+	}
+	if opt.FrameH == 0 {
+		opt.FrameH = 512
+	}
+	eng, err := Engine(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	for _, iso := range Sweep() {
+		res, err := eng.Extract(iso, cluster.Options{KeepMeshes: !opt.SkipRender})
+		if err != nil {
+			return nil, err
+		}
+		row := PerfRow{Iso: iso, Active: res.Active, Triangles: res.Triangles}
+		var rendWall []time.Duration
+		var compositeWall time.Duration
+		if !opt.SkipRender {
+			rendWall, compositeWall, err = renderNodes(res, opt.FrameW, opt.FrameH)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			rendWall = make([]time.Duration, len(res.PerNode))
+		}
+		for i, n := range res.PerNode {
+			if n.IOModelTime > row.AMCModel {
+				row.AMCModel = n.IOModelTime
+			}
+			if n.AMCWall > row.AMCWall {
+				row.AMCWall = n.AMCWall
+			}
+			if n.TriWall > row.TriWall {
+				row.TriWall = n.TriWall
+			}
+			if rendWall[i] > row.RendWall {
+				row.RendWall = rendWall[i]
+			}
+			if t := n.IOModelTime + n.TriWall + rendWall[i]; t+compositeWall > row.Overall {
+				row.Overall = t + compositeWall
+			}
+		}
+		row.Rate = mtps(row.Triangles, row.Overall)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// renderNodes renders every node's mesh in parallel (one goroutine per node,
+// like the per-node GPUs) and composites sort-last. It returns the per-node
+// render wall times and the composite wall time.
+func renderNodes(res *cluster.Result, w, h int) ([]time.Duration, time.Duration, error) {
+	bounds := geom.EmptyAABB()
+	for _, n := range res.PerNode {
+		if n.Mesh == nil {
+			return nil, 0, fmt.Errorf("harness: extraction did not keep meshes")
+		}
+		bounds = bounds.Union(n.Mesh.Bounds())
+	}
+	cam := render.FitMesh(bounds, 45, w, h)
+	walls := make([]time.Duration, len(res.PerNode))
+	fbs := make([]*render.Framebuffer, len(res.PerNode))
+	var wg sync.WaitGroup
+	for i := range res.PerNode {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			fbs[i] = render.NewFramebuffer(w, h)
+			render.DrawMesh(fbs[i], cam, res.PerNode[i].Mesh, render.DefaultShading())
+			walls[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	t0 := time.Now()
+	if _, _, err := composite.ZComposite(fbs...); err != nil {
+		return nil, 0, err
+	}
+	return walls, time.Since(t0), nil
+}
+
+// PrintPerfTable renders performance rows in the paper's Table 2–5 shape.
+func PrintPerfTable(w io.Writer, procs int, rows []PerfRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "isovalue\tactive MC\ttriangles\tAMC I/O (model)\tAMC (wall)\ttriangulate\trender\toverall\tMtri/s\t[p=%d]\n", procs)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%.2f\t\n",
+			r.Iso, r.Active, r.Triangles,
+			fmtDur(r.AMCModel), fmtDur(r.AMCWall), fmtDur(r.TriWall), fmtDur(r.RendWall),
+			fmtDur(r.Overall), r.Rate)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Tables 6 & 7 — distribution of active metacells / triangles across four
+// nodes per isovalue.
+
+// BalanceRow is one isovalue's distribution across nodes.
+type BalanceRow struct {
+	Iso     float32
+	PerNode []int
+	Total   int
+	MaxAvg  float64 // max/avg ratio; 1.0 is perfect balance
+}
+
+// BalanceTable computes the per-node distribution of active metacells
+// (metric="metacells", Table 6) or triangles (metric="triangles", Table 7).
+func BalanceTable(cfg RMConfig, procs int, metric string) ([]BalanceRow, error) {
+	eng, err := Engine(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BalanceRow
+	for _, iso := range Sweep() {
+		res, err := eng.Extract(iso, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := BalanceRow{Iso: iso, PerNode: make([]int, procs)}
+		for i, n := range res.PerNode {
+			switch metric {
+			case "metacells":
+				row.PerNode[i] = n.ActiveMetacells
+			case "triangles":
+				row.PerNode[i] = n.Triangles
+			default:
+				return nil, fmt.Errorf("harness: unknown balance metric %q", metric)
+			}
+			row.Total += row.PerNode[i]
+		}
+		if row.Total > 0 {
+			max := 0
+			for _, c := range row.PerNode {
+				if c > max {
+					max = c
+				}
+			}
+			row.MaxAvg = float64(max) * float64(procs) / float64(row.Total)
+		} else {
+			row.MaxAvg = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintBalanceTable renders distribution rows in the paper's Table 6–7 shape.
+func PrintBalanceTable(w io.Writer, metric string, rows []BalanceRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(tw, "isovalue\t")
+	for i := range rows[0].PerNode {
+		fmt.Fprintf(tw, "node %d\t", i)
+	}
+	fmt.Fprintf(tw, "total\tmax/avg\t[%s]\n", metric)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t", r.Iso)
+		for _, c := range r.PerNode {
+			fmt.Fprintf(tw, "%d\t", c)
+		}
+		fmt.Fprintf(tw, "%d\t%.3f\t\n", r.Total, r.MaxAvg)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Table 8 — time-varying browsing: steps 180–195 at isovalue 70 on four
+// nodes.
+
+// Table8Row is one time step's row.
+type Table8Row struct {
+	Step      int
+	Active    int
+	Triangles int
+	Time      time.Duration // max-node modeled time, as in the perf tables
+	Rate      float64       // Mtri/s
+}
+
+// Table8 preprocesses the given steps (paper: 180–195) and extracts the
+// fixed isovalue (paper: 70) on a procs-node configuration (paper: 4).
+func Table8(cfg RMConfig, steps []int, iso float32, procs int) ([]Table8Row, *core.TimeVaryingIndex, error) {
+	gen := volume.TimeVaryingRM(cfg.NX, cfg.NY, cfg.NZ, cfg.Seed)
+	tv, err := cluster.BuildTimeVarying(gen, steps, cluster.Config{Procs: procs, Span: cfg.Span})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Table8Row
+	for _, s := range steps {
+		res, err := tv.Extract(s, iso, cluster.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table8Row{Step: s, Active: res.Active, Triangles: res.Triangles}
+		row.Time = res.MaxNodeTime()
+		row.Rate = mtps(row.Triangles, row.Time)
+		rows = append(rows, row)
+	}
+	return rows, &tv.Index, nil
+}
+
+// PrintTable8 renders time-varying rows in the paper's Table 8 shape.
+func PrintTable8(w io.Writer, iso float32, procs int, rows []Table8Row, idx *core.TimeVaryingIndex) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "time step\tactive MC\ttriangles\ttime\tMtri/s\t[iso=%.0f p=%d]\n", iso, procs)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%.2f\t\n", r.Step, r.Active, r.Triangles, fmtDur(r.Time), r.Rate)
+	}
+	tw.Flush()
+	if idx != nil {
+		fmt.Fprintf(w, "time-varying index: %d steps, %s total (resident in memory)\n",
+			idx.NumSteps(), fmtBytes(idx.IndexSizeBytes()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// shared formatting helpers
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// nullWriter returns a Writer whose output is discarded after offsets are
+// assigned (Table 1 only needs index sizes, not the data image).
+func nullWriter() *nullW { return &nullW{} }
+
+type nullW struct{ off int64 }
+
+func (w *nullW) Offset() int64 { return w.off }
+func (w *nullW) Append(p []byte) (int64, error) {
+	off := w.off
+	w.off += int64(len(p))
+	return off, nil
+}

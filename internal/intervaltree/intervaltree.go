@@ -1,0 +1,178 @@
+// Package intervaltree implements the standard binary interval tree, the
+// baseline the paper's compact interval tree is measured against in
+// Table 1.
+//
+// Each node stores a split value and *two* sorted secondary lists of the
+// intervals containing it — one by increasing vmin, one by decreasing vmax —
+// so every interval is recorded twice and the structure is Ω(N) in the
+// number of intervals, versus the compact tree's O(n log n) in the number
+// of distinct endpoint values.
+package intervaltree
+
+import (
+	"sort"
+
+	"repro/internal/volume"
+)
+
+// Interval is one indexed interval (a metacell's scalar range).
+type Interval struct {
+	VMin, VMax float32
+	ID         uint32
+}
+
+// node is one tree node with its two secondary lists.
+type node struct {
+	vm          float32
+	byVMin      []Interval // increasing vmin
+	byVMax      []Interval // decreasing vmax
+	left, right int32
+}
+
+// Tree is a standard in-memory binary interval tree.
+type Tree struct {
+	Fmt   volume.Format // scalar width, for size accounting
+	nodes []node
+	root  int32
+	n     int
+}
+
+// Build constructs the tree over the given intervals.
+func Build(f volume.Format, ivs []Interval) *Tree {
+	t := &Tree{Fmt: f, n: len(ivs)}
+	idx := make([]Interval, len(ivs))
+	copy(idx, ivs)
+	t.root = t.build(idx)
+	return t
+}
+
+func (t *Tree) build(ivs []Interval) int32 {
+	if len(ivs) == 0 {
+		return -1
+	}
+	vm := medianEndpoint(ivs)
+	var here, left, right []Interval
+	for _, iv := range ivs {
+		switch {
+		case iv.VMax < vm:
+			left = append(left, iv)
+		case iv.VMin > vm:
+			right = append(right, iv)
+		default:
+			here = append(here, iv)
+		}
+	}
+	nd := node{vm: vm}
+	nd.byVMin = append([]Interval(nil), here...)
+	sort.Slice(nd.byVMin, func(a, b int) bool {
+		if nd.byVMin[a].VMin != nd.byVMin[b].VMin {
+			return nd.byVMin[a].VMin < nd.byVMin[b].VMin
+		}
+		return nd.byVMin[a].ID < nd.byVMin[b].ID
+	})
+	nd.byVMax = append([]Interval(nil), here...)
+	sort.Slice(nd.byVMax, func(a, b int) bool {
+		if nd.byVMax[a].VMax != nd.byVMax[b].VMax {
+			return nd.byVMax[a].VMax > nd.byVMax[b].VMax
+		}
+		return nd.byVMax[a].ID < nd.byVMax[b].ID
+	})
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, nd)
+	l := t.build(left)
+	r := t.build(right)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+func medianEndpoint(ivs []Interval) float32 {
+	vals := make([]float32, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		vals = append(vals, iv.VMin, iv.VMax)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	w := 0
+	for i, v := range vals {
+		if i == 0 || v != vals[w-1] {
+			vals[w] = v
+			w++
+		}
+	}
+	return vals[w/2]
+}
+
+// Stab reports every interval containing iso, in unspecified order.
+func (t *Tree) Stab(iso float32, visit func(Interval)) {
+	n := t.root
+	for n >= 0 {
+		nd := &t.nodes[n]
+		if iso >= nd.vm {
+			// All intervals with vmax ≥ iso qualify; walk the vmax-sorted
+			// list until it drops below iso.
+			for _, iv := range nd.byVMax {
+				if iv.VMax < iso {
+					break
+				}
+				visit(iv)
+			}
+			n = nd.right
+		} else {
+			for _, iv := range nd.byVMin {
+				if iv.VMin > iso {
+					break
+				}
+				visit(iv)
+			}
+			n = nd.left
+		}
+	}
+}
+
+// Count returns the number of intervals containing iso.
+func (t *Tree) Count(iso float32) int {
+	n := 0
+	t.Stab(iso, func(Interval) { n++ })
+	return n
+}
+
+// NumIntervals returns N, the number of indexed intervals.
+func (t *Tree) NumIntervals() int { return t.n }
+
+// NumNodes returns the number of tree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumListEntries returns the total length of all secondary lists (2N).
+func (t *Tree) NumListEntries() int {
+	total := 0
+	for _, nd := range t.nodes {
+		total += len(nd.byVMin) + len(nd.byVMax)
+	}
+	return total
+}
+
+// SizeBytes returns the structure's size under the same packed accounting
+// used for the compact interval tree: each secondary-list entry holds one
+// scalar key plus an 8-byte reference, and each node a split value plus two
+// 4-byte child links. This is the Table 1 column for the standard tree.
+func (t *Tree) SizeBytes() int64 {
+	w := int64(t.Fmt.Bytes())
+	entry := w + 8
+	node := w + 8
+	return int64(t.NumListEntries())*entry + int64(t.NumNodes())*node
+}
+
+// Height returns the tree height (-1 if empty).
+func (t *Tree) Height() int { return t.height(t.root) }
+
+func (t *Tree) height(n int32) int {
+	if n < 0 {
+		return -1
+	}
+	hl := t.height(t.nodes[n].left)
+	hr := t.height(t.nodes[n].right)
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}

@@ -1,0 +1,128 @@
+package intervaltree
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/volume"
+)
+
+func synth(n int, seed uint64) []Interval {
+	r := rng.New(seed)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		vmin := float32(r.Intn(250))
+		ivs[i] = Interval{VMin: vmin, VMax: vmin + 1 + float32(r.Intn(255-int(vmin))), ID: uint32(i)}
+	}
+	return ivs
+}
+
+func brute(ivs []Interval, iso float32) map[uint32]bool {
+	m := map[uint32]bool{}
+	for _, iv := range ivs {
+		if iv.VMin <= iso && iso <= iv.VMax {
+			m[iv.ID] = true
+		}
+	}
+	return m
+}
+
+func TestStabMatchesBruteForce(t *testing.T) {
+	ivs := synth(600, 1)
+	tree := Build(volume.U8, ivs)
+	for iso := float32(-5); iso <= 260; iso += 9 {
+		want := brute(ivs, iso)
+		got := map[uint32]bool{}
+		tree.Stab(iso, func(iv Interval) {
+			if got[iv.ID] {
+				t.Fatalf("iso %v: interval %d visited twice", iso, iv.ID)
+			}
+			got[iv.ID] = true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("iso %v: %d stabbed, want %d", iso, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("iso %v: interval %d missed", iso, id)
+			}
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	ivs := synth(200, 2)
+	tree := Build(volume.U8, ivs)
+	for _, iso := range []float32{0, 100, 255} {
+		if got, want := tree.Count(iso), len(brute(ivs, iso)); got != want {
+			t.Errorf("Count(%v) = %d, want %d", iso, got, want)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := Build(volume.U8, nil)
+	if tree.Count(100) != 0 || tree.NumNodes() != 0 || tree.Height() != -1 {
+		t.Error("empty tree misbehaves")
+	}
+	if tree.SizeBytes() != 0 {
+		t.Errorf("empty tree size = %d", tree.SizeBytes())
+	}
+}
+
+func TestListEntriesAre2N(t *testing.T) {
+	ivs := synth(500, 3)
+	tree := Build(volume.U8, ivs)
+	if got := tree.NumListEntries(); got != 2*len(ivs) {
+		t.Errorf("list entries = %d, want %d", got, 2*len(ivs))
+	}
+	if tree.NumIntervals() != len(ivs) {
+		t.Error("NumIntervals wrong")
+	}
+}
+
+func TestSizeGrowsLinearly(t *testing.T) {
+	// The Ω(N) behavior Table 1 demonstrates: doubling N roughly doubles the
+	// size, even though the endpoint universe stays fixed at ≤256 values.
+	a := Build(volume.U8, synth(1000, 4)).SizeBytes()
+	b := Build(volume.U8, synth(2000, 4)).SizeBytes()
+	ratio := float64(b) / float64(a)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("size ratio for 2× intervals = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestHeightLogarithmicInEndpoints(t *testing.T) {
+	tree := Build(volume.U8, synth(5000, 5))
+	if h := tree.Height(); h > 16 {
+		t.Errorf("height = %d for ≤256 distinct endpoints", h)
+	}
+}
+
+func TestDuplicateIntervals(t *testing.T) {
+	ivs := []Interval{
+		{VMin: 10, VMax: 20, ID: 0},
+		{VMin: 10, VMax: 20, ID: 1},
+		{VMin: 10, VMax: 20, ID: 2},
+	}
+	tree := Build(volume.U8, ivs)
+	if got := tree.Count(15); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := tree.Count(25); got != 0 {
+		t.Errorf("Count above = %d, want 0", got)
+	}
+}
+
+func TestPointIntervals(t *testing.T) {
+	// Degenerate intervals (vmin == vmax) must be stabbed exactly at their
+	// value.
+	ivs := []Interval{{VMin: 7, VMax: 7, ID: 0}, {VMin: 3, VMax: 9, ID: 1}}
+	tree := Build(volume.U8, ivs)
+	if tree.Count(7) != 2 {
+		t.Errorf("Count(7) = %d, want 2", tree.Count(7))
+	}
+	if tree.Count(8) != 1 {
+		t.Errorf("Count(8) = %d, want 1", tree.Count(8))
+	}
+}

@@ -1,0 +1,50 @@
+package march
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metacell"
+	"repro/internal/volume"
+)
+
+// BenchmarkMetacell measures triangulating one decoded metacell.
+func BenchmarkMetacell(b *testing.B) {
+	g := volume.RichtmyerMeshkov(33, 33, 30, 250, 1)
+	l, cells := metacell.Extract(g, 9)
+	// Pick a busy metacell (widest interval).
+	best := 0
+	for i, c := range cells {
+		if c.VMax-c.VMin > cells[best].VMax-cells[best].VMin {
+			best = i
+		}
+	}
+	m, err := metacell.DecodeRecord(l, cells[best].Record)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iso := (cells[best].VMin + cells[best].VMax) / 2
+	b.ResetTimer()
+	tris := 0
+	for i := 0; i < b.N; i++ {
+		var mesh geom.Mesh
+		Metacell(l, &m, iso, &mesh)
+		tris = mesh.Len()
+	}
+	b.ReportMetric(float64(tris), "triangles")
+}
+
+// BenchmarkGrid measures whole-volume marching cubes throughput.
+func BenchmarkGrid(b *testing.B) {
+	g := volume.RichtmyerMeshkov(65, 65, 60, 250, 1)
+	b.ResetTimer()
+	var tris int
+	for i := 0; i < b.N; i++ {
+		mesh, _ := Grid(g, 128)
+		tris = mesh.Len()
+	}
+	b.StopTimer()
+	if tris > 0 {
+		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtri/s")
+	}
+}

@@ -1,0 +1,130 @@
+package march
+
+import (
+	"repro/internal/geom"
+	"repro/internal/metacell"
+	"repro/internal/volume"
+)
+
+// Config classifies the eight corner values of a cell against an isovalue:
+// bit c is set when v[c] >= iso.
+func Config(v *[8]float32, iso float32) uint8 {
+	var cfg uint8
+	for c := 0; c < 8; c++ {
+		if v[c] >= iso {
+			cfg |= 1 << c
+		}
+	}
+	return cfg
+}
+
+// cell triangulates one unit cell with corner values v and minimum corner at
+// origin, appending triangles to out. It reports whether the cell was active
+// (intersected by the isosurface).
+func cell(v *[8]float32, origin geom.Vec3, iso float32, out *geom.Mesh) bool {
+	cfg := Config(v, iso)
+	tris := triTable[cfg]
+	if len(tris) == 0 {
+		return false
+	}
+	// Interpolate each referenced edge's crossing point once.
+	var pts [12]geom.Vec3
+	var have uint16
+	for _, e := range tris {
+		if have&(1<<e) != 0 {
+			continue
+		}
+		have |= 1 << e
+		a, b := edgeCorners[e][0], edgeCorners[e][1]
+		va, vb := v[a], v[b]
+		t := (iso - va) / (vb - va) // va != vb: exactly one side is inside
+		pa := geom.V(float32(cornerOffset[a][0]), float32(cornerOffset[a][1]), float32(cornerOffset[a][2]))
+		pb := geom.V(float32(cornerOffset[b][0]), float32(cornerOffset[b][1]), float32(cornerOffset[b][2]))
+		pts[e] = origin.Add(pa.Lerp(pb, t))
+	}
+	for i := 0; i+2 < len(tris); i += 3 {
+		out.Append(geom.Triangle{A: pts[tris[i]], B: pts[tris[i+1]], C: pts[tris[i+2]]})
+	}
+	return true
+}
+
+// CellAt triangulates a single unit cell with corner values v (ordered as
+// in Config: corner c at offset (c&1, c>>1&1, c>>2&1)) and minimum corner at
+// origin, appending triangles to out. It reports whether the cell was
+// active. This is the entry point for callers that traverse cells
+// themselves, such as the contour-propagation baseline.
+func CellAt(v *[8]float32, origin geom.Vec3, iso float32, out *geom.Mesh) bool {
+	return cell(v, origin, iso, out)
+}
+
+// Metacell triangulates every cell of a decoded metacell at the given
+// isovalue, appending triangles (in volume coordinates) to out. It returns
+// the number of active cells.
+//
+// Cells that extend past the volume boundary (possible only in truncated
+// edge metacells, where samples were clamp-padded) are skipped so no
+// spurious geometry is generated outside the data.
+func Metacell(l metacell.Layout, m *metacell.Meta, iso float32, out *geom.Mesh) int {
+	ox, oy, oz := l.Origin(m.ID)
+	span := l.Span
+	active := 0
+	var v [8]float32
+	for dz := 0; dz < span-1; dz++ {
+		if oz+dz+1 >= l.Nz {
+			break
+		}
+		for dy := 0; dy < span-1; dy++ {
+			if oy+dy+1 >= l.Ny {
+				break
+			}
+			row := (dz*span + dy) * span
+			for dx := 0; dx < span-1; dx++ {
+				if ox+dx+1 >= l.Nx {
+					break
+				}
+				i := row + dx
+				v[0] = m.Samples[i]
+				v[1] = m.Samples[i+1]
+				v[2] = m.Samples[i+span]
+				v[3] = m.Samples[i+span+1]
+				v[4] = m.Samples[i+span*span]
+				v[5] = m.Samples[i+span*span+1]
+				v[6] = m.Samples[i+span*span+span]
+				v[7] = m.Samples[i+span*span+span+1]
+				origin := geom.V(float32(ox+dx), float32(oy+dy), float32(oz+dz))
+				if cell(&v, origin, iso, out) {
+					active++
+				}
+			}
+		}
+	}
+	return active
+}
+
+// Grid triangulates an entire in-memory volume directly, bypassing the
+// metacell machinery. It is the reference implementation the out-of-core
+// pipeline is validated against in tests, and is also useful for small
+// datasets.
+func Grid(g *volume.Grid, iso float32) (*geom.Mesh, int) {
+	var out geom.Mesh
+	active := 0
+	var v [8]float32
+	for z := 0; z+1 < g.Nz; z++ {
+		for y := 0; y+1 < g.Ny; y++ {
+			for x := 0; x+1 < g.Nx; x++ {
+				v[0] = g.At(x, y, z)
+				v[1] = g.At(x+1, y, z)
+				v[2] = g.At(x, y+1, z)
+				v[3] = g.At(x+1, y+1, z)
+				v[4] = g.At(x, y, z+1)
+				v[5] = g.At(x+1, y, z+1)
+				v[6] = g.At(x, y+1, z+1)
+				v[7] = g.At(x+1, y+1, z+1)
+				if cell(&v, geom.V(float32(x), float32(y), float32(z)), iso, &out) {
+					active++
+				}
+			}
+		}
+	}
+	return &out, active
+}

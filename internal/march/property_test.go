@@ -1,0 +1,137 @@
+package march
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// TestPropertyVerticesInsideCell checks that for arbitrary corner values
+// every emitted vertex lies inside the unit cell and on a cut edge.
+func TestPropertyVerticesInsideCell(t *testing.T) {
+	prop := func(seed uint64, isoRaw uint8) bool {
+		r := rng.New(seed)
+		var v [8]float32
+		for i := range v {
+			v[i] = float32(r.Intn(256))
+		}
+		iso := float32(isoRaw)
+		var out geom.Mesh
+		cell(&v, geom.V(0, 0, 0), iso, &out)
+		for _, tr := range out.Tris {
+			for _, p := range []geom.Vec3{tr.A, tr.B, tr.C} {
+				if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 || p.Z < 0 || p.Z > 1 {
+					return false
+				}
+				// On an edge: at most one coordinate fractional.
+				frac := 0
+				for _, c := range []float32{p.X, p.Y, p.Z} {
+					if c != 0 && c != 1 {
+						frac++
+					}
+				}
+				if frac > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyActiveIffMixedSigns checks that a cell emits triangles exactly
+// when its corner classification is mixed.
+func TestPropertyActiveIffMixedSigns(t *testing.T) {
+	prop := func(seed uint64, isoRaw uint8) bool {
+		r := rng.New(seed)
+		var v [8]float32
+		for i := range v {
+			v[i] = float32(r.Intn(256))
+		}
+		iso := float32(isoRaw)
+		cfg := Config(&v, iso)
+		var out geom.Mesh
+		active := cell(&v, geom.V(0, 0, 0), iso, &out)
+		mixed := cfg != 0 && cfg != 255
+		return active == mixed && (out.Len() > 0) == mixed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTranslationInvariance checks that translating the cell origin
+// translates the triangles and nothing else.
+func TestPropertyTranslationInvariance(t *testing.T) {
+	prop := func(seed uint64, ox, oy, oz int8) bool {
+		r := rng.New(seed)
+		var v [8]float32
+		for i := range v {
+			v[i] = float32(r.Intn(256))
+		}
+		const iso = 127.5
+		var at0, atO geom.Mesh
+		cell(&v, geom.V(0, 0, 0), iso, &at0)
+		origin := geom.V(float32(ox), float32(oy), float32(oz))
+		cell(&v, origin, iso, &atO)
+		if at0.Len() != atO.Len() {
+			return false
+		}
+		for i := range at0.Tris {
+			a, b := at0.Tris[i], atO.Tris[i]
+			if a.A.Add(origin) != b.A || a.B.Add(origin) != b.B || a.C.Add(origin) != b.C {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNormalsSingleCornerCases checks the orientation convention on
+// the unambiguous configurations: with exactly one inside corner the
+// triangle's normal must point away from that corner (toward decreasing
+// values), and with exactly one outside corner toward it. (For multi-sheet
+// turbulent cells the orientation is defined per surface cycle; the
+// sphere/torus integration tests cover those end to end.)
+func TestPropertyNormalsSingleCornerCases(t *testing.T) {
+	prop := func(seed uint64, corner uint8, invert bool) bool {
+		c := int(corner) % 8
+		r := rng.New(seed)
+		var v [8]float32
+		for i := range v {
+			v[i] = float32(r.Intn(100)) // all below iso
+		}
+		v[c] = 200 + float32(r.Intn(56)) // the single inside corner
+		iso := float32(150)
+		if invert {
+			// Complement: one outside corner.
+			for i := range v {
+				v[i] = 255 - v[i]
+			}
+		}
+		var out geom.Mesh
+		cell(&v, geom.V(0, 0, 0), iso, &out)
+		if out.Len() != 1 {
+			return false
+		}
+		tr := out.Tris[0]
+		p := geom.V(float32(cornerOffset[c][0]), float32(cornerOffset[c][1]), float32(cornerOffset[c][2]))
+		d := tr.UnitNormal().Dot(tr.Centroid().Sub(p))
+		if invert {
+			// p is now the outside corner: normal points toward it.
+			return d < 0
+		}
+		return d > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package meshio turns the extraction pipeline's triangle soup into an
+// indexed mesh (exact-coordinate vertex welding, per-vertex normals) and
+// writes the standard interchange formats a downstream user of an
+// isosurface library expects: Wavefront OBJ, binary STL and ASCII PLY.
+//
+// Welding by exact coordinates is correct here because marching cubes
+// interpolates shared cell edges from identical inputs, so coincident
+// vertices match bit-for-bit (the property the extraction tests rely on).
+package meshio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// IndexedMesh is a welded triangle mesh.
+type IndexedMesh struct {
+	Verts []geom.Vec3
+	Faces [][3]uint32
+}
+
+// Index welds a triangle soup into an indexed mesh, dropping degenerate
+// triangles (including those that collapse under welding).
+func Index(m *geom.Mesh) *IndexedMesh {
+	im := &IndexedMesh{}
+	lookup := make(map[geom.Vec3]uint32, len(m.Tris))
+	idOf := func(p geom.Vec3) uint32 {
+		if id, ok := lookup[p]; ok {
+			return id
+		}
+		id := uint32(len(im.Verts))
+		im.Verts = append(im.Verts, p)
+		lookup[p] = id
+		return id
+	}
+	for _, tr := range m.Tris {
+		if tr.Degenerate() {
+			continue
+		}
+		a, b, c := idOf(tr.A), idOf(tr.B), idOf(tr.C)
+		if a == b || b == c || a == c {
+			continue
+		}
+		im.Faces = append(im.Faces, [3]uint32{a, b, c})
+	}
+	return im
+}
+
+// NumVerts returns the vertex count.
+func (im *IndexedMesh) NumVerts() int { return len(im.Verts) }
+
+// NumFaces returns the face count.
+func (im *IndexedMesh) NumFaces() int { return len(im.Faces) }
+
+// Normals computes area-weighted per-vertex normals.
+func (im *IndexedMesh) Normals() []geom.Vec3 {
+	ns := make([]geom.Vec3, len(im.Verts))
+	for _, f := range im.Faces {
+		t := geom.Triangle{A: im.Verts[f[0]], B: im.Verts[f[1]], C: im.Verts[f[2]]}
+		n := t.Normal() // magnitude ∝ area: area weighting for free
+		for _, vi := range f {
+			ns[vi] = ns[vi].Add(n)
+		}
+	}
+	for i := range ns {
+		ns[i] = ns[i].Normalize()
+	}
+	return ns
+}
+
+// EulerCharacteristic returns V − E + F, with edges counted from the face
+// list. For a closed orientable surface this is 2 − 2·genus.
+func (im *IndexedMesh) EulerCharacteristic() int {
+	edges := make(map[[2]uint32]struct{}, 3*len(im.Faces)/2)
+	for _, f := range im.Faces {
+		for i := 0; i < 3; i++ {
+			a, b := f[i], f[(i+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[[2]uint32{a, b}] = struct{}{}
+		}
+	}
+	return len(im.Verts) - len(edges) + len(im.Faces)
+}
+
+// IsClosed reports whether every edge is shared by exactly two faces (a
+// watertight surface).
+func (im *IndexedMesh) IsClosed() bool {
+	use := make(map[[2]uint32]int, 3*len(im.Faces)/2)
+	for _, f := range im.Faces {
+		for i := 0; i < 3; i++ {
+			a, b := f[i], f[(i+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			use[[2]uint32{a, b}]++
+		}
+	}
+	for _, n := range use {
+		if n != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteOBJ writes the mesh as Wavefront OBJ with per-vertex normals.
+func (im *IndexedMesh) WriteOBJ(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "# isosurface: %d vertices, %d faces\n", im.NumVerts(), im.NumFaces())
+	for _, v := range im.Verts {
+		fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, n := range im.Normals() {
+		fmt.Fprintf(bw, "vn %g %g %g\n", n.X, n.Y, n.Z)
+	}
+	for _, f := range im.Faces {
+		// OBJ indices are 1-based; vertex and normal indices coincide.
+		fmt.Fprintf(bw, "f %d//%d %d//%d %d//%d\n", f[0]+1, f[0]+1, f[1]+1, f[1]+1, f[2]+1, f[2]+1)
+	}
+	return bw.Flush()
+}
+
+// WriteSTL writes the mesh as binary STL (unindexed; STL has no shared
+// vertices).
+func (im *IndexedMesh) WriteSTL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var header [80]byte
+	copy(header[:], "isosurface (binary STL)")
+	if _, err := bw.Write(header[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(im.Faces)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	var rec [50]byte
+	putV := func(off int, v geom.Vec3) {
+		binary.LittleEndian.PutUint32(rec[off:], math.Float32bits(v.X))
+		binary.LittleEndian.PutUint32(rec[off+4:], math.Float32bits(v.Y))
+		binary.LittleEndian.PutUint32(rec[off+8:], math.Float32bits(v.Z))
+	}
+	for _, f := range im.Faces {
+		t := geom.Triangle{A: im.Verts[f[0]], B: im.Verts[f[1]], C: im.Verts[f[2]]}
+		putV(0, t.UnitNormal())
+		putV(12, t.A)
+		putV(24, t.B)
+		putV(36, t.C)
+		rec[48], rec[49] = 0, 0 // attribute byte count
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePLY writes the mesh as ASCII PLY.
+func (im *IndexedMesh) WritePLY(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "ply\nformat ascii 1.0\nelement vertex %d\n", im.NumVerts())
+	fmt.Fprint(bw, "property float x\nproperty float y\nproperty float z\n")
+	fmt.Fprintf(bw, "element face %d\nproperty list uchar int vertex_indices\nend_header\n", im.NumFaces())
+	for _, v := range im.Verts {
+		fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range im.Faces {
+		fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2])
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the mesh to path in the format implied by its extension
+// (.obj, .stl or .ply).
+func (im *IndexedMesh) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch {
+	case hasSuffix(path, ".obj"):
+		werr = im.WriteOBJ(f)
+	case hasSuffix(path, ".stl"):
+		werr = im.WriteSTL(f)
+	case hasSuffix(path, ".ply"):
+		werr = im.WritePLY(f)
+	default:
+		werr = fmt.Errorf("meshio: unknown mesh extension in %q (want .obj/.stl/.ply)", path)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

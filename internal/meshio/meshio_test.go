@@ -1,0 +1,172 @@
+package meshio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/march"
+	"repro/internal/volume"
+)
+
+func sphereMesh(t *testing.T) *geom.Mesh {
+	t.Helper()
+	mesh, _ := march.Grid(volume.Sphere(20), 128)
+	if mesh.Len() == 0 {
+		t.Fatal("no sphere mesh")
+	}
+	return mesh
+}
+
+func TestIndexWeldsSharedVertices(t *testing.T) {
+	mesh := sphereMesh(t)
+	im := Index(mesh)
+	if im.NumFaces() == 0 {
+		t.Fatal("no faces")
+	}
+	// A closed triangle mesh has far fewer vertices than 3 per face; for
+	// large closed meshes V ≈ F/2.
+	if im.NumVerts() >= 3*im.NumFaces()*2/3 {
+		t.Errorf("welding ineffective: %d verts for %d faces", im.NumVerts(), im.NumFaces())
+	}
+	// Every face index must be valid and non-degenerate.
+	for _, f := range im.Faces {
+		for _, vi := range f {
+			if int(vi) >= im.NumVerts() {
+				t.Fatalf("face references vertex %d of %d", vi, im.NumVerts())
+			}
+		}
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			t.Fatal("degenerate face survived welding")
+		}
+	}
+}
+
+func TestIndexedSphereTopology(t *testing.T) {
+	im := Index(sphereMesh(t))
+	if !im.IsClosed() {
+		t.Error("sphere mesh not closed after indexing")
+	}
+	if chi := im.EulerCharacteristic(); chi != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", chi)
+	}
+}
+
+func TestIndexedTorusTopology(t *testing.T) {
+	mesh, _ := march.Grid(volume.Torus(32), 180)
+	im := Index(mesh)
+	if chi := im.EulerCharacteristic(); chi != 0 {
+		t.Errorf("torus Euler characteristic = %d, want 0", chi)
+	}
+}
+
+func TestIndexDropsDegenerate(t *testing.T) {
+	var m geom.Mesh
+	m.Append(geom.Triangle{A: geom.V(0, 0, 0), B: geom.V(1, 1, 1), C: geom.V(2, 2, 2)}) // collinear
+	m.Append(geom.Triangle{A: geom.V(0, 0, 0), B: geom.V(0, 0, 0), C: geom.V(1, 0, 0)}) // repeated vertex
+	m.Append(geom.Triangle{A: geom.V(0, 0, 0), B: geom.V(1, 0, 0), C: geom.V(0, 1, 0)}) // good
+	im := Index(&m)
+	if im.NumFaces() != 1 {
+		t.Errorf("kept %d faces, want 1", im.NumFaces())
+	}
+}
+
+func TestNormalsUnitAndOutward(t *testing.T) {
+	im := Index(sphereMesh(t))
+	ns := im.Normals()
+	c := geom.V(9.5, 9.5, 9.5)
+	for i, n := range ns {
+		l := n.Len()
+		if math.Abs(float64(l-1)) > 1e-4 {
+			t.Fatalf("normal %d has length %v", i, l)
+		}
+		if n.Dot(im.Verts[i].Sub(c)) <= 0 {
+			t.Fatalf("vertex %d normal points inward", i)
+		}
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	im := Index(sphereMesh(t))
+	var buf bytes.Buffer
+	if err := im.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "\nv ")+1 < im.NumVerts() { // first v may follow header line
+		t.Error("missing vertices in OBJ")
+	}
+	if strings.Count(s, "\nf ") != im.NumFaces() {
+		t.Errorf("OBJ has %d faces, want %d", strings.Count(s, "\nf "), im.NumFaces())
+	}
+	if !strings.Contains(s, "vn ") {
+		t.Error("OBJ missing normals")
+	}
+}
+
+func TestWriteSTL(t *testing.T) {
+	im := Index(sphereMesh(t))
+	var buf bytes.Buffer
+	if err := im.WriteSTL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 84+50*im.NumFaces() {
+		t.Fatalf("STL size %d, want %d", len(b), 84+50*im.NumFaces())
+	}
+	if n := binary.LittleEndian.Uint32(b[80:]); int(n) != im.NumFaces() {
+		t.Errorf("STL face count %d, want %d", n, im.NumFaces())
+	}
+	// First triangle's vertices must match the mesh.
+	f := im.Faces[0]
+	gotX := math.Float32frombits(binary.LittleEndian.Uint32(b[84+12:]))
+	if gotX != im.Verts[f[0]].X {
+		t.Errorf("STL vertex mismatch: %v vs %v", gotX, im.Verts[f[0]].X)
+	}
+}
+
+func TestWritePLY(t *testing.T) {
+	im := Index(sphereMesh(t))
+	var buf bytes.Buffer
+	if err := im.WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "ply\nformat ascii 1.0\n") {
+		t.Error("bad PLY header")
+	}
+	if !strings.Contains(s, "element vertex") || !strings.Contains(s, "element face") {
+		t.Error("PLY missing element declarations")
+	}
+}
+
+func TestWriteFileByExtension(t *testing.T) {
+	im := Index(sphereMesh(t))
+	dir := t.TempDir()
+	for _, name := range []string{"m.obj", "m.stl", "m.ply"} {
+		if err := im.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := im.WriteFile(filepath.Join(dir, "m.xyz")); err == nil {
+		t.Error("unknown extension should fail")
+	}
+}
+
+func TestEmptyMesh(t *testing.T) {
+	im := Index(&geom.Mesh{})
+	if im.NumVerts() != 0 || im.NumFaces() != 0 {
+		t.Error("empty soup produced geometry")
+	}
+	if !im.IsClosed() { // vacuously closed
+		t.Error("empty mesh should be vacuously closed")
+	}
+	var buf bytes.Buffer
+	if err := im.WriteOBJ(&buf); err != nil {
+		t.Error(err)
+	}
+}

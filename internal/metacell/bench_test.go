@@ -1,0 +1,42 @@
+package metacell
+
+import (
+	"testing"
+
+	"repro/internal/volume"
+)
+
+// BenchmarkExtract measures in-memory metacell decomposition.
+func BenchmarkExtract(b *testing.B) {
+	g := volume.RichtmyerMeshkov(65, 65, 60, 250, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(g, 9)
+	}
+}
+
+// BenchmarkExtractStream measures the slab-streaming decomposition.
+func BenchmarkExtractStream(b *testing.B) {
+	g := volume.RichtmyerMeshkov(65, 65, 60, 250, 1)
+	src := SourceFromGrid(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractStream(src, 9, func(Cell) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeRecord measures record decoding, the hot path of the
+// triangulation phase.
+func BenchmarkDecodeRecord(b *testing.B) {
+	g := volume.RichtmyerMeshkov(33, 33, 30, 250, 1)
+	l, cells := Extract(g, 9)
+	var m Meta
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRecordInto(l, cells[i%len(cells)].Record, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

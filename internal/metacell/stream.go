@@ -1,0 +1,209 @@
+package metacell
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/volume"
+)
+
+// PlaneSource yields a volume one z-plane at a time, so preprocessing can
+// run over datasets that do not fit in memory (the paper's time steps are
+// 7.5 GB against 8 GB of node RAM). volume.Grid satisfies the interface for
+// in-memory data; PlaneFile streams from a volume file on disk.
+type PlaneSource interface {
+	// Dims returns the volume dimensions and scalar format.
+	Dims() (nx, ny, nz int, f volume.Format)
+	// ReadPlane fills dst (nx*ny values, x-fastest) with plane z.
+	ReadPlane(z int, dst []float32) error
+}
+
+// gridSource adapts an in-memory grid.
+type gridSource struct{ g *volume.Grid }
+
+// SourceFromGrid wraps an in-memory volume as a PlaneSource.
+func SourceFromGrid(g *volume.Grid) PlaneSource { return gridSource{g} }
+
+func (s gridSource) Dims() (int, int, int, volume.Format) {
+	return s.g.Nx, s.g.Ny, s.g.Nz, s.g.Fmt
+}
+
+func (s gridSource) ReadPlane(z int, dst []float32) error {
+	if len(dst) != s.g.Nx*s.g.Ny {
+		return fmt.Errorf("metacell: plane buffer has %d values, want %d", len(dst), s.g.Nx*s.g.Ny)
+	}
+	i := 0
+	for y := 0; y < s.g.Ny; y++ {
+		for x := 0; x < s.g.Nx; x++ {
+			dst[i] = s.g.At(x, y, z)
+			i++
+		}
+	}
+	return nil
+}
+
+// PlaneFile streams planes from a volume file written by volume.WriteFile,
+// reading each plane on demand so memory stays O(nx·ny·span).
+type PlaneFile struct {
+	f          *os.File
+	nx, ny, nz int
+	fmt        volume.Format
+	planeBytes int
+	buf        []byte
+}
+
+// OpenPlaneFile opens a volume file for streaming.
+func OpenPlaneFile(path string) (*PlaneFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metacell: reading volume header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != 0x564f4c31 {
+		f.Close()
+		return nil, fmt.Errorf("metacell: bad volume magic %#x", m)
+	}
+	pf := &PlaneFile{
+		f:   f,
+		fmt: volume.Format(binary.LittleEndian.Uint32(hdr[4:])),
+		nx:  int(binary.LittleEndian.Uint32(hdr[8:])),
+		ny:  int(binary.LittleEndian.Uint32(hdr[12:])),
+		nz:  int(binary.LittleEndian.Uint32(hdr[16:])),
+	}
+	if pf.nx <= 0 || pf.ny <= 0 || pf.nz <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("metacell: bad volume dims %d×%d×%d", pf.nx, pf.ny, pf.nz)
+	}
+	pf.planeBytes = pf.nx * pf.ny * pf.fmt.Bytes()
+	pf.buf = make([]byte, pf.planeBytes)
+	return pf, nil
+}
+
+// Dims implements PlaneSource.
+func (pf *PlaneFile) Dims() (int, int, int, volume.Format) {
+	return pf.nx, pf.ny, pf.nz, pf.fmt
+}
+
+// ReadPlane implements PlaneSource.
+func (pf *PlaneFile) ReadPlane(z int, dst []float32) error {
+	if z < 0 || z >= pf.nz {
+		return fmt.Errorf("metacell: plane %d outside [0,%d)", z, pf.nz)
+	}
+	if len(dst) != pf.nx*pf.ny {
+		return fmt.Errorf("metacell: plane buffer has %d values, want %d", len(dst), pf.nx*pf.ny)
+	}
+	off := int64(24) + int64(z)*int64(pf.planeBytes)
+	if _, err := pf.f.ReadAt(pf.buf, off); err != nil {
+		return fmt.Errorf("metacell: reading plane %d: %w", z, err)
+	}
+	w := pf.fmt.Bytes()
+	for i := range dst {
+		dst[i] = getScalar(pf.buf[i*w:], pf.fmt)
+	}
+	return nil
+}
+
+// Close releases the file.
+func (pf *PlaneFile) Close() error { return pf.f.Close() }
+
+// ExtractStream decomposes a streamed volume into metacells, emitting each
+// non-constant metacell to visit in ID order. It holds only span z-planes in
+// memory (a ring buffer of O(nx·ny·span) floats) — the out-of-core
+// counterpart of Extract, with identical output.
+func ExtractStream(src PlaneSource, span int, visit func(Cell) error) (Layout, error) {
+	nx, ny, nz, f := src.Dims()
+	if span < 2 {
+		return Layout{}, fmt.Errorf("metacell: span %d < 2", span)
+	}
+	l := Layout{
+		Span: span, Fmt: f,
+		Nx: nx, Ny: ny, Nz: nz,
+		Mx: ceilDiv(nx-1, span-1),
+		My: ceilDiv(ny-1, span-1),
+		Mz: ceilDiv(nz-1, span-1),
+	}
+
+	// Ring buffer of the last `span` planes, indexed by z % span.
+	planes := make([][]float32, span)
+	for i := range planes {
+		planes[i] = make([]float32, nx*ny)
+	}
+	loaded := -1 // highest plane index read so far
+	load := func(z int) error {
+		for loaded < z {
+			loaded++
+			if err := src.ReadPlane(loaded, planes[loaded%span]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sampleAt := func(x, y, z int) float32 {
+		if x > nx-1 {
+			x = nx - 1
+		}
+		if y > ny-1 {
+			y = ny - 1
+		}
+		return planes[z%span][y*nx+x]
+	}
+
+	buf := make([]float32, span*span*span)
+	for mz := 0; mz < l.Mz; mz++ {
+		z0 := mz * (span - 1)
+		zTop := z0 + span - 1
+		if zTop > nz-1 {
+			zTop = nz - 1
+		}
+		if err := load(zTop); err != nil {
+			return l, err
+		}
+		for my := 0; my < l.My; my++ {
+			for mx := 0; mx < l.Mx; mx++ {
+				id := l.ID(mx, my, mz)
+				ox, oy, _ := l.Origin(id)
+				vmin := float32(math.Inf(1))
+				vmax := float32(math.Inf(-1))
+				i := 0
+				for dz := 0; dz < span; dz++ {
+					z := z0 + dz
+					if z > nz-1 {
+						z = nz - 1
+					}
+					for dy := 0; dy < span; dy++ {
+						for dx := 0; dx < span; dx++ {
+							v := sampleAt(ox+dx, oy+dy, z)
+							buf[i] = v
+							i++
+							if v < vmin {
+								vmin = v
+							}
+							if v > vmax {
+								vmax = v
+							}
+						}
+					}
+				}
+				if vmin == vmax {
+					continue
+				}
+				if err := visit(Cell{
+					ID:     id,
+					VMin:   vmin,
+					VMax:   vmax,
+					Record: encodeRecord(l, id, vmin, buf),
+				}); err != nil {
+					return l, err
+				}
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,158 @@
+package metacell
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/volume"
+)
+
+func collectStream(t *testing.T, src PlaneSource, span int) (Layout, []Cell) {
+	t.Helper()
+	var cells []Cell
+	l, err := ExtractStream(src, span, func(c Cell) error {
+		cells = append(cells, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, cells
+}
+
+func assertSameCells(t *testing.T, want, got []Cell) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].VMin != want[i].VMin || got[i].VMax != want[i].VMax {
+			t.Fatalf("cell %d header mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		if !bytes.Equal(got[i].Record, want[i].Record) {
+			t.Fatalf("cell %d record mismatch", i)
+		}
+	}
+}
+
+func TestExtractStreamMatchesExtract(t *testing.T) {
+	for _, dims := range [][3]int{{33, 33, 30}, {20, 28, 12}, {9, 9, 9}} {
+		g := volume.RichtmyerMeshkov(dims[0], dims[1], dims[2], 230, 7)
+		wantL, want := Extract(g, 9)
+		gotL, got := collectStream(t, SourceFromGrid(g), 9)
+		if gotL != wantL {
+			t.Fatalf("%v: layout mismatch: %+v vs %+v", dims, gotL, wantL)
+		}
+		assertSameCells(t, want, got)
+	}
+}
+
+func TestExtractStreamSpanVariants(t *testing.T) {
+	g := volume.Sphere(21)
+	for _, span := range []int{2, 5, 9} {
+		_, want := Extract(g, span)
+		_, got := collectStream(t, SourceFromGrid(g), span)
+		assertSameCells(t, want, got)
+	}
+}
+
+func TestExtractStreamFromFile(t *testing.T) {
+	g := volume.RichtmyerMeshkov(33, 33, 30, 230, 7)
+	path := filepath.Join(t.TempDir(), "vol.bin")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenPlaneFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	nx, ny, nz, f := pf.Dims()
+	if nx != 33 || ny != 33 || nz != 30 || f != volume.U8 {
+		t.Fatalf("dims = %d×%d×%d %v", nx, ny, nz, f)
+	}
+	_, want := Extract(g, 9)
+	_, got := collectStream(t, pf, 9)
+	assertSameCells(t, want, got)
+}
+
+func TestExtractStreamFromFileU16(t *testing.T) {
+	g := volume.MRBrainLike(20, 3)
+	path := filepath.Join(t.TempDir(), "vol16.bin")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenPlaneFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	_, want := Extract(g, 9)
+	_, got := collectStream(t, pf, 9)
+	assertSameCells(t, want, got)
+}
+
+func TestPlaneFileErrors(t *testing.T) {
+	if _, err := OpenPlaneFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := writeFile(junk, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPlaneFile(junk); err == nil {
+		t.Error("bad magic should fail")
+	}
+
+	g := volume.Sphere(12)
+	path := filepath.Join(t.TempDir(), "v.bin")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenPlaneFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	buf := make([]float32, 12*12)
+	if err := pf.ReadPlane(-1, buf); err == nil {
+		t.Error("negative plane should fail")
+	}
+	if err := pf.ReadPlane(12, buf); err == nil {
+		t.Error("out-of-range plane should fail")
+	}
+	if err := pf.ReadPlane(0, buf[:5]); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestExtractStreamVisitorError(t *testing.T) {
+	g := volume.Sphere(17)
+	calls := 0
+	_, err := ExtractStream(SourceFromGrid(g), 9, func(Cell) error {
+		calls++
+		return errStop
+	})
+	if err != errStop {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("visitor called %d times after error", calls)
+	}
+}
+
+func TestExtractStreamBadSpan(t *testing.T) {
+	g := volume.Sphere(9)
+	if _, err := ExtractStream(SourceFromGrid(g), 1, func(Cell) error { return nil }); err == nil {
+		t.Error("span 1 should fail")
+	}
+}
+
+var errStop = errors.New("stop")
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

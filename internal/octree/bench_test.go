@@ -1,0 +1,16 @@
+package octree
+
+import (
+	"testing"
+
+	"repro/internal/volume"
+)
+
+// BenchmarkQuery measures an octree traversal at a mid isovalue.
+func BenchmarkQuery(b *testing.B) {
+	tree := Build(volume.RichtmyerMeshkov(65, 65, 60, 250, 1), 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Query(128, func(uint32) {})
+	}
+}

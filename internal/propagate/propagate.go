@@ -1,0 +1,174 @@
+// Package propagate implements seed-cell contour propagation (Bajaj–
+// Pascucci–Schikore and Itoh–Koyamada, references [5,6] of the paper): a
+// small *seed set* is indexed so that, for any isovalue, every connected
+// component of the isosurface passes through at least one seed; extraction
+// stabs the seed index and floods outward through face-adjacent active
+// cells, touching only the surface's neighborhood.
+//
+// It serves as the contour-propagation baseline in the comparison suite:
+// elegant for in-core data, but its breadth-first traversal makes
+// fundamentally random access patterns, which is the paper's argument for
+// the span-space layout in the out-of-core setting.
+package propagate
+
+import (
+	"repro/internal/geom"
+	"repro/internal/intervaltree"
+	"repro/internal/march"
+	"repro/internal/volume"
+)
+
+// Extractor holds the seed index over one in-memory volume.
+type Extractor struct {
+	g     *volume.Grid
+	seeds *intervaltree.Tree
+	// cx, cy, cz are the cell-grid dimensions.
+	cx, cy, cz int
+}
+
+// cellRange returns the value range of the cell with minimum corner (x,y,z).
+func cellRange(g *volume.Grid, x, y, z int) (lo, hi float32) {
+	lo = g.At(x, y, z)
+	hi = lo
+	for c := 1; c < 8; c++ {
+		v := g.At(x+(c&1), y+(c>>1&1), z+(c>>2&1))
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// New builds the seed index with the sweep criterion: a cell is a seed for
+// isovalue λ if the cell spans λ but its -x neighbor does not (cells in the
+// first x-slab are seeds for their whole span). Every x-run of active cells
+// then contains a seed, so flooding from the stabbed seeds reaches every
+// component of the isosurface.
+func New(g *volume.Grid) *Extractor {
+	e := &Extractor{g: g, cx: g.Nx - 1, cy: g.Ny - 1, cz: g.Nz - 1}
+	var ivs []intervaltree.Interval
+	for z := 0; z < e.cz; z++ {
+		for y := 0; y < e.cy; y++ {
+			prevLo, prevHi := float32(0), float32(-1) // empty range
+			for x := 0; x < e.cx; x++ {
+				lo, hi := cellRange(g, x, y, z)
+				if lo < hi {
+					// Seed intervals: the part of [lo,hi] not covered by the
+					// -x neighbor's range. Up to two pieces.
+					id := e.cellID(x, y, z)
+					if prevLo > prevHi {
+						ivs = append(ivs, intervaltree.Interval{VMin: lo, VMax: hi, ID: id})
+					} else {
+						if lo < prevLo {
+							ivs = append(ivs, intervaltree.Interval{VMin: lo, VMax: minf(hi, prevLo), ID: id})
+						}
+						if hi > prevHi {
+							ivs = append(ivs, intervaltree.Interval{VMin: maxf(lo, prevHi), VMax: hi, ID: id})
+						}
+					}
+				}
+				prevLo, prevHi = lo, hi
+				if lo >= hi {
+					prevLo, prevHi = 0, -1
+				}
+			}
+		}
+	}
+	e.seeds = intervaltree.Build(g.Fmt, ivs)
+	return e
+}
+
+func (e *Extractor) cellID(x, y, z int) uint32 {
+	return uint32((z*e.cy+y)*e.cx + x)
+}
+
+func (e *Extractor) cellCoords(id uint32) (x, y, z int) {
+	i := int(id)
+	x = i % e.cx
+	i /= e.cx
+	y = i % e.cy
+	z = i / e.cy
+	return
+}
+
+// NumSeeds returns the number of seed intervals indexed.
+func (e *Extractor) NumSeeds() int { return e.seeds.NumIntervals() }
+
+// Stats summarizes one extraction.
+type Stats struct {
+	SeedsHit    int // stabbed seed intervals
+	CellsFlood  int // cells visited by the flood (active and frontier)
+	ActiveCells int // cells that produced triangles
+}
+
+// Extract triangulates the isosurface by flooding from the stabbed seeds.
+// The result equals marching the full grid, in some triangle order.
+func (e *Extractor) Extract(iso float32) (*geom.Mesh, Stats) {
+	var st Stats
+	var out geom.Mesh
+	visited := make(map[uint32]bool)
+	var queue []uint32
+	e.seeds.Stab(iso, func(iv intervaltree.Interval) {
+		st.SeedsHit++
+		if !visited[iv.ID] {
+			visited[iv.ID] = true
+			queue = append(queue, iv.ID)
+		}
+	})
+	var v [8]float32
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x, y, z := e.cellCoords(id)
+		st.CellsFlood++
+		lo, hi := cellRange(e.g, x, y, z)
+		if iso < lo || iso > hi {
+			continue
+		}
+		// Triangulate this cell.
+		i := 0
+		for dz := 0; dz < 2; dz++ {
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					v[i] = e.g.At(x+dx, y+dy, z+dz)
+					i++
+				}
+			}
+		}
+		// march.Config orders corners as (c&1, c>>1&1, c>>2&1); the loop
+		// above fills in exactly that order.
+		if march.CellAt(&v, geom.V(float32(x), float32(y), float32(z)), iso, &out) {
+			st.ActiveCells++
+		}
+		// Flood to face neighbors.
+		for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+			nx, ny, nz := x+d[0], y+d[1], z+d[2]
+			if nx < 0 || nx >= e.cx || ny < 0 || ny >= e.cy || nz < 0 || nz >= e.cz {
+				continue
+			}
+			nid := e.cellID(nx, ny, nz)
+			if !visited[nid] {
+				visited[nid] = true
+				queue = append(queue, nid)
+			}
+		}
+	}
+	return &out, st
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

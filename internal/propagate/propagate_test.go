@@ -1,0 +1,135 @@
+package propagate
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/march"
+	"repro/internal/volume"
+)
+
+type vtx [3]float32
+
+func triKey(tr geom.Triangle) [9]float32 {
+	ps := []vtx{{tr.A.X, tr.A.Y, tr.A.Z}, {tr.B.X, tr.B.Y, tr.B.Z}, {tr.C.X, tr.C.Y, tr.C.Z}}
+	sort.Slice(ps, func(i, j int) bool {
+		for k := 0; k < 3; k++ {
+			if ps[i][k] != ps[j][k] {
+				return ps[i][k] < ps[j][k]
+			}
+		}
+		return false
+	})
+	return [9]float32{ps[0][0], ps[0][1], ps[0][2], ps[1][0], ps[1][1], ps[1][2], ps[2][0], ps[2][1], ps[2][2]}
+}
+
+func sameTriangles(a, b *geom.Mesh) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	count := map[[9]float32]int{}
+	for _, tr := range a.Tris {
+		count[triKey(tr)]++
+	}
+	for _, tr := range b.Tris {
+		count[triKey(tr)]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExtractMatchesMarchingCubes(t *testing.T) {
+	for name, g := range map[string]*volume.Grid{
+		"sphere": volume.Sphere(20),
+		"torus":  volume.Torus(24),
+		"rm":     volume.RichtmyerMeshkov(25, 25, 22, 230, 7),
+	} {
+		e := New(g)
+		for _, iso := range []float32{60, 128, 190} {
+			want, wantActive := march.Grid(g, iso)
+			got, st := e.Extract(iso)
+			if got.Len() != want.Len() {
+				t.Errorf("%s iso %v: %d triangles, want %d", name, iso, got.Len(), want.Len())
+				continue
+			}
+			if st.ActiveCells != wantActive {
+				t.Errorf("%s iso %v: %d active cells, want %d", name, iso, st.ActiveCells, wantActive)
+			}
+			if !sameTriangles(got, want) {
+				t.Errorf("%s iso %v: triangle sets differ", name, iso)
+			}
+		}
+	}
+}
+
+func TestMultipleComponents(t *testing.T) {
+	// Two disjoint value blobs: both components must be found via seeds.
+	g := volume.New(24, 12, 12, volume.U8)
+	g.Fill(func(x, y, z int) float32 {
+		d1 := (x-5)*(x-5) + (y-6)*(y-6) + (z-6)*(z-6)
+		d2 := (x-18)*(x-18) + (y-6)*(y-6) + (z-6)*(z-6)
+		v := 0
+		if d1 < 16 {
+			v = 200
+		}
+		if d2 < 16 {
+			v = 200
+		}
+		return float32(v)
+	})
+	e := New(g)
+	want, _ := march.Grid(g, 100)
+	got, st := e.Extract(100)
+	if got.Len() != want.Len() || got.Len() == 0 {
+		t.Fatalf("%d triangles, want %d", got.Len(), want.Len())
+	}
+	if st.SeedsHit < 2 {
+		t.Errorf("only %d seeds for two components", st.SeedsHit)
+	}
+}
+
+func TestFloodVisitsOnlySurfaceNeighborhood(t *testing.T) {
+	// The point of propagation: for a small surface the flood must touch far
+	// fewer cells than the volume holds.
+	g := volume.Sphere(32)
+	e := New(g)
+	_, st := e.Extract(240) // small shell near the center
+	total := 31 * 31 * 31
+	if st.CellsFlood*5 > total {
+		t.Errorf("flood visited %d of %d cells: no locality", st.CellsFlood, total)
+	}
+}
+
+func TestSeedsSmallerThanActiveCells(t *testing.T) {
+	g := volume.RichtmyerMeshkov(33, 33, 30, 230, 7)
+	e := New(g)
+	_, active := march.Grid(g, 128)
+	_, st := e.Extract(128)
+	if st.SeedsHit >= active {
+		t.Errorf("%d seeds stabbed for %d active cells: seed set not sparse", st.SeedsHit, active)
+	}
+}
+
+func TestNoSurface(t *testing.T) {
+	e := New(volume.Sphere(12))
+	got, st := e.Extract(300)
+	if got.Len() != 0 || st.SeedsHit != 0 || st.CellsFlood != 0 {
+		t.Errorf("out-of-range isovalue produced work: %+v", st)
+	}
+}
+
+func TestConstantVolume(t *testing.T) {
+	e := New(volume.Constant(8, 8, 8, volume.U8, 42))
+	if e.NumSeeds() != 0 {
+		t.Errorf("constant volume has %d seeds", e.NumSeeds())
+	}
+	got, _ := e.Extract(42)
+	if got.Len() != 0 {
+		t.Error("constant volume produced surface")
+	}
+}

@@ -1,0 +1,22 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/volume"
+)
+
+// BenchmarkDrawMesh measures software rasterization throughput.
+func BenchmarkDrawMesh(b *testing.B) {
+	mesh, _ := march.Grid(volume.RichtmyerMeshkov(65, 65, 60, 250, 1), 128)
+	cam := FitMesh(mesh.Bounds(), 45, 512, 512)
+	fb := NewFramebuffer(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Clear(RGB{})
+		DrawMesh(fb, cam, mesh, DefaultShading())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mesh.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtri/s")
+}

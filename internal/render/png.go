@@ -1,0 +1,48 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+)
+
+// Image converts the framebuffer's color plane to a standard image.
+func (fb *Framebuffer) Image() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, fb.W, fb.H))
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			c := fb.Color[y*fb.W+x]
+			img.SetRGBA(x, y, color.RGBA{R: c.R, G: c.G, B: c.B, A: 255})
+		}
+	}
+	return img
+}
+
+// WritePNG writes the framebuffer as a PNG image.
+func (fb *Framebuffer) WritePNG(w io.Writer) error {
+	return png.Encode(w, fb.Image())
+}
+
+// WritePNGFile writes the framebuffer to a PNG file at path.
+func (fb *Framebuffer) WritePNGFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fb.WritePNG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteImageFile writes the framebuffer to path as PNG or PPM depending on
+// the extension.
+func (fb *Framebuffer) WriteImageFile(path string) error {
+	if len(path) >= 4 && path[len(path)-4:] == ".png" {
+		return fb.WritePNGFile(path)
+	}
+	return fb.WritePPMFile(path)
+}

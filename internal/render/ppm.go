@@ -1,0 +1,40 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePPM writes the framebuffer's color plane as a binary PPM (P6) image.
+func (fb *Framebuffer) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", fb.W, fb.H); err != nil {
+		return err
+	}
+	row := make([]byte, fb.W*3)
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			c := fb.Color[y*fb.W+x]
+			row[x*3], row[x*3+1], row[x*3+2] = c.R, c.G, c.B
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePPMFile writes the framebuffer to a PPM file at path.
+func (fb *Framebuffer) WritePPMFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fb.WritePPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,265 @@
+// Package unstructured extends the pipeline to unstructured tetrahedral
+// grids, which the paper's scheme supports through the same metacell idea
+// (§4: "Our algorithm can handle both structured and unstructured grids"): a
+// metacell becomes a *cluster* of neighboring tetrahedra carrying its
+// (vmin, vmax) interval; interval stabbing prunes inactive clusters and
+// marching tetrahedra triangulates the active ones.
+//
+// Marching tetrahedra needs no case table beyond three shapes (no cut / one
+// vertex separated → triangle / two-two split → quad) and has no ambiguous
+// configurations, so the extracted surface is watertight by construction.
+package unstructured
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/intervaltree"
+	"repro/internal/volume"
+)
+
+// Mesh is an unstructured tetrahedral grid with a scalar value per vertex.
+type Mesh struct {
+	Verts  []geom.Vec3
+	Values []float32
+	Tets   [][4]int32
+}
+
+// Validate checks structural consistency.
+func (m *Mesh) Validate() error {
+	if len(m.Verts) != len(m.Values) {
+		return fmt.Errorf("unstructured: %d vertices but %d values", len(m.Verts), len(m.Values))
+	}
+	for ti, tet := range m.Tets {
+		for _, v := range tet {
+			if v < 0 || int(v) >= len(m.Verts) {
+				return fmt.Errorf("unstructured: tet %d references vertex %d of %d", ti, v, len(m.Verts))
+			}
+		}
+	}
+	return nil
+}
+
+// TetInterval returns the scalar range of one tetrahedron.
+func (m *Mesh) TetInterval(ti int) (vmin, vmax float32) {
+	tet := m.Tets[ti]
+	vmin = m.Values[tet[0]]
+	vmax = vmin
+	for _, v := range tet[1:] {
+		val := m.Values[v]
+		if val < vmin {
+			vmin = val
+		}
+		if val > vmax {
+			vmax = val
+		}
+	}
+	return vmin, vmax
+}
+
+// marchTet emits the isosurface triangles of one tetrahedron.
+func (m *Mesh) marchTet(ti int, iso float32, out *geom.Mesh) bool {
+	tet := m.Tets[ti]
+	var inside [4]bool
+	n := 0
+	for i, v := range tet {
+		if m.Values[v] >= iso {
+			inside[i] = true
+			n++
+		}
+	}
+	if n == 0 || n == 4 {
+		return false
+	}
+	// Edge crossing between local vertices a (inside) and b (outside).
+	cross := func(a, b int) geom.Vec3 {
+		va, vb := m.Values[tet[a]], m.Values[tet[b]]
+		t := (iso - va) / (vb - va)
+		return m.Verts[tet[a]].Lerp(m.Verts[tet[b]], t)
+	}
+	var in, outV []int
+	for i := 0; i < 4; i++ {
+		if inside[i] {
+			in = append(in, i)
+		} else {
+			outV = append(outV, i)
+		}
+	}
+	switch n {
+	case 1:
+		// One inside vertex: a triangle across its three edges.
+		p0 := cross(in[0], outV[0])
+		p1 := cross(in[0], outV[1])
+		p2 := cross(in[0], outV[2])
+		out.Append(orient(geom.Triangle{A: p0, B: p1, C: p2}, m.Verts[tet[in[0]]], false))
+	case 3:
+		// One outside vertex: same triangle, oriented the other way.
+		p0 := cross(in[0], outV[0])
+		p1 := cross(in[1], outV[0])
+		p2 := cross(in[2], outV[0])
+		out.Append(orient(geom.Triangle{A: p0, B: p1, C: p2}, m.Verts[tet[outV[0]]], true))
+	case 2:
+		// Two-two split: a quad across the four cut edges.
+		p00 := cross(in[0], outV[0])
+		p01 := cross(in[0], outV[1])
+		p10 := cross(in[1], outV[0])
+		p11 := cross(in[1], outV[1])
+		// Quad in order p00, p01, p11, p10 (cycles around the cut).
+		mid := m.Verts[tet[in[0]]].Add(m.Verts[tet[in[1]]]).Scale(0.5)
+		out.Append(orient(geom.Triangle{A: p00, B: p01, C: p11}, mid, false))
+		out.Append(orient(geom.Triangle{A: p00, B: p11, C: p10}, mid, false))
+	}
+	return true
+}
+
+// orient winds tr so its normal points away from the inside reference point
+// (toward decreasing scalar), matching the marching-cubes convention; flip
+// inverts the reference (an outside point).
+func orient(tr geom.Triangle, ref geom.Vec3, refIsOutside bool) geom.Triangle {
+	d := tr.Normal().Dot(tr.Centroid().Sub(ref))
+	away := d > 0
+	if refIsOutside {
+		away = !away
+	}
+	if !away {
+		tr.B, tr.C = tr.C, tr.B
+	}
+	return tr
+}
+
+// March triangulates the full mesh at iso, returning the surface and the
+// number of active tetrahedra.
+func (m *Mesh) March(iso float32) (*geom.Mesh, int) {
+	var out geom.Mesh
+	active := 0
+	for ti := range m.Tets {
+		if m.marchTet(ti, iso, &out) {
+			active++
+		}
+	}
+	return &out, active
+}
+
+// Cluster is the unstructured counterpart of a metacell: a contiguous run
+// of tetrahedra with its scalar interval.
+type Cluster struct {
+	VMin, VMax float32
+	First, N   int32 // tets [First, First+N)
+}
+
+// Index accelerates isosurface queries over a tet mesh: tetrahedra are
+// grouped into clusters of clusterSize (a preprocessing-order analogue of
+// metacells) and the clusters' intervals go into an interval tree.
+type Index struct {
+	mesh     *Mesh
+	clusters []Cluster
+	tree     *intervaltree.Tree
+}
+
+// NewIndex builds the cluster index. clusterSize ≤ 0 selects 64 tets per
+// cluster.
+func NewIndex(m *Mesh, clusterSize int) (*Index, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if clusterSize <= 0 {
+		clusterSize = 64
+	}
+	idx := &Index{mesh: m}
+	var ivs []intervaltree.Interval
+	for first := 0; first < len(m.Tets); first += clusterSize {
+		n := clusterSize
+		if first+n > len(m.Tets) {
+			n = len(m.Tets) - first
+		}
+		vmin, vmax := m.TetInterval(first)
+		for ti := first + 1; ti < first+n; ti++ {
+			lo, hi := m.TetInterval(ti)
+			if lo < vmin {
+				vmin = lo
+			}
+			if hi > vmax {
+				vmax = hi
+			}
+		}
+		if vmin == vmax {
+			continue // constant cluster: no surface possible
+		}
+		id := uint32(len(idx.clusters))
+		idx.clusters = append(idx.clusters, Cluster{VMin: vmin, VMax: vmax, First: int32(first), N: int32(n)})
+		ivs = append(ivs, intervaltree.Interval{VMin: vmin, VMax: vmax, ID: id})
+	}
+	idx.tree = intervaltree.Build(volume.F32, ivs)
+	return idx, nil
+}
+
+// NumClusters returns the number of non-constant clusters.
+func (idx *Index) NumClusters() int { return len(idx.clusters) }
+
+// QueryStats summarizes one accelerated extraction.
+type QueryStats struct {
+	ActiveClusters int
+	ActiveTets     int
+	Triangles      int
+}
+
+// Extract triangulates the isosurface using the cluster index to skip
+// inactive regions.
+func (idx *Index) Extract(iso float32) (*geom.Mesh, QueryStats) {
+	var out geom.Mesh
+	var st QueryStats
+	idx.tree.Stab(iso, func(iv intervaltree.Interval) {
+		st.ActiveClusters++
+		c := idx.clusters[iv.ID]
+		for ti := c.First; ti < c.First+c.N; ti++ {
+			if idx.mesh.marchTet(int(ti), iso, &out) {
+				st.ActiveTets++
+			}
+		}
+	})
+	st.Triangles = out.Len()
+	return &out, st
+}
+
+// FromGrid converts a regular grid into a tetrahedral mesh by splitting
+// every cell into six tetrahedra around its main diagonal (a standard
+// Kuhn/Freudenthal decomposition: consistent across shared faces, so the
+// mesh is conforming). Useful for testing the unstructured path against the
+// structured one and as a template for real unstructured inputs.
+func FromGrid(g *volume.Grid) *Mesh {
+	m := &Mesh{}
+	vid := func(x, y, z int) int32 { return int32((z*g.Ny+y)*g.Nx + x) }
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 0; x < g.Nx; x++ {
+				m.Verts = append(m.Verts, geom.V(float32(x), float32(y), float32(z)))
+				m.Values = append(m.Values, g.At(x, y, z))
+			}
+		}
+	}
+	// The six tets of the Kuhn decomposition of the unit cube, as corner
+	// index triples along paths from corner 0 to corner 7.
+	paths := [6][4][3]int{
+		{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {1, 1, 1}},
+		{{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {1, 1, 1}},
+		{{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 1, 1}},
+		{{0, 0, 0}, {0, 1, 0}, {0, 1, 1}, {1, 1, 1}},
+		{{0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {1, 1, 1}},
+		{{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {1, 1, 1}},
+	}
+	for z := 0; z+1 < g.Nz; z++ {
+		for y := 0; y+1 < g.Ny; y++ {
+			for x := 0; x+1 < g.Nx; x++ {
+				for _, p := range paths {
+					m.Tets = append(m.Tets, [4]int32{
+						vid(x+p[0][0], y+p[0][1], z+p[0][2]),
+						vid(x+p[1][0], y+p[1][1], z+p[1][2]),
+						vid(x+p[2][0], y+p[2][1], z+p[2][2]),
+						vid(x+p[3][0], y+p[3][1], z+p[3][2]),
+					})
+				}
+			}
+		}
+	}
+	return m
+}

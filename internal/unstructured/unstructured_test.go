@@ -1,0 +1,194 @@
+package unstructured
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/volume"
+)
+
+func TestValidate(t *testing.T) {
+	m := &Mesh{
+		Verts:  []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}},
+		Values: []float32{0, 1, 2, 3},
+		Tets:   [][4]int32{{0, 1, 2, 3}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Mesh{Verts: m.Verts, Values: m.Values[:3], Tets: m.Tets}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched values should fail")
+	}
+	bad2 := &Mesh{Verts: m.Verts, Values: m.Values, Tets: [][4]int32{{0, 1, 2, 9}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+}
+
+func TestTetInterval(t *testing.T) {
+	m := &Mesh{
+		Verts:  []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}},
+		Values: []float32{5, -2, 9, 3},
+		Tets:   [][4]int32{{0, 1, 2, 3}},
+	}
+	lo, hi := m.TetInterval(0)
+	if lo != -2 || hi != 9 {
+		t.Errorf("interval [%v,%v], want [-2,9]", lo, hi)
+	}
+}
+
+func TestSingleTetCases(t *testing.T) {
+	m := &Mesh{
+		Verts:  []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}},
+		Values: []float32{0, 0, 0, 0},
+		Tets:   [][4]int32{{0, 1, 2, 3}},
+	}
+	set := func(vals ...float32) { copy(m.Values, vals) }
+
+	// No crossing.
+	set(0, 0, 0, 0)
+	if out, a := m.March(5); out.Len() != 0 || a != 0 {
+		t.Error("constant tet produced surface")
+	}
+	// One vertex inside: 1 triangle.
+	set(10, 0, 0, 0)
+	if out, a := m.March(5); out.Len() != 1 || a != 1 {
+		t.Errorf("1-inside case: %d triangles", out.Len())
+	}
+	// Three inside: 1 triangle.
+	set(10, 10, 10, 0)
+	if out, _ := m.March(5); out.Len() != 1 {
+		t.Errorf("3-inside case: %d triangles", out.Len())
+	}
+	// Two-two: quad = 2 triangles.
+	set(10, 10, 0, 0)
+	if out, _ := m.March(5); out.Len() != 2 {
+		t.Errorf("2-2 case: %d triangles", out.Len())
+	}
+}
+
+func TestNormalsPointTowardLowerValues(t *testing.T) {
+	m := &Mesh{
+		Verts:  []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}},
+		Values: []float32{10, 0, 0, 0},
+		Tets:   [][4]int32{{0, 1, 2, 3}},
+	}
+	out, _ := m.March(5)
+	// Inside vertex is the origin; the normal must point away from it.
+	tr := out.Tris[0]
+	if tr.UnitNormal().Dot(tr.Centroid()) <= 0 {
+		t.Error("normal points toward the inside vertex")
+	}
+}
+
+func TestSphereViaTetsWatertight(t *testing.T) {
+	g := volume.Sphere(16)
+	tm := FromGrid(g)
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	surf, active := tm.March(128)
+	if surf.Len() == 0 || active == 0 {
+		t.Fatal("no surface")
+	}
+	im := meshio.Index(surf)
+	if !im.IsClosed() {
+		t.Error("tet-extracted sphere not watertight")
+	}
+	if chi := im.EulerCharacteristic(); chi != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", chi)
+	}
+}
+
+func TestSphereAreaMatchesMarchingCubesScale(t *testing.T) {
+	g := volume.Sphere(24)
+	tm := FromGrid(g)
+	surf, _ := tm.March(128)
+	// Analytic surface area of the isovalue-128 sphere.
+	c := float32(23) / 2
+	rmax := float32(math.Sqrt(3)) * c
+	r := float64(rmax * (1 - 128.0/255.0))
+	want := 4 * math.Pi * r * r
+	got := surf.TotalArea()
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("tet sphere area %.1f vs analytic %.1f", got, want)
+	}
+}
+
+func TestIndexExtractMatchesFullMarch(t *testing.T) {
+	g := volume.RichtmyerMeshkov(17, 17, 16, 230, 7)
+	tm := FromGrid(g)
+	idx, err := NewIndex(tm, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iso := range []float32{60, 128, 190} {
+		want, wantActive := tm.March(iso)
+		got, st := idx.Extract(iso)
+		if got.Len() != want.Len() {
+			t.Errorf("iso %v: %d triangles via index, %d full", iso, got.Len(), want.Len())
+		}
+		if st.ActiveTets != wantActive {
+			t.Errorf("iso %v: %d active tets via index, %d full", iso, st.ActiveTets, wantActive)
+		}
+		if st.Triangles != got.Len() {
+			t.Error("stats triangles mismatch")
+		}
+	}
+}
+
+func TestIndexPrunes(t *testing.T) {
+	g := volume.Sphere(16)
+	tm := FromGrid(g)
+	idx, err := NewIndex(tm, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := idx.Extract(240) // small shell: most clusters inactive
+	if st.ActiveClusters >= idx.NumClusters() {
+		t.Errorf("no pruning: %d of %d clusters active", st.ActiveClusters, idx.NumClusters())
+	}
+	// Out-of-range isovalue touches nothing.
+	if _, st := idx.Extract(300); st.ActiveClusters != 0 {
+		t.Error("out-of-range isovalue touched clusters")
+	}
+}
+
+func TestIndexDefaultClusterSize(t *testing.T) {
+	tm := FromGrid(volume.Sphere(9))
+	idx, err := NewIndex(tm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumClusters() == 0 {
+		t.Error("no clusters")
+	}
+	bad := &Mesh{Verts: []geom.Vec3{{}}, Values: nil}
+	if _, err := NewIndex(bad, 0); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+}
+
+func TestFromGridConforming(t *testing.T) {
+	g := volume.Sphere(8)
+	tm := FromGrid(g)
+	wantTets := 6 * 7 * 7 * 7
+	if len(tm.Tets) != wantTets {
+		t.Errorf("%d tets, want %d", len(tm.Tets), wantTets)
+	}
+	if len(tm.Verts) != 8*8*8 {
+		t.Errorf("%d verts", len(tm.Verts))
+	}
+	// Every tet must have positive volume (non-degenerate decomposition).
+	for ti, tet := range tm.Tets {
+		a := tm.Verts[tet[1]].Sub(tm.Verts[tet[0]])
+		b := tm.Verts[tet[2]].Sub(tm.Verts[tet[0]])
+		c := tm.Verts[tet[3]].Sub(tm.Verts[tet[0]])
+		if vol := a.Cross(b).Dot(c); vol == 0 {
+			t.Fatalf("tet %d degenerate", ti)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package volume
+
+import "testing"
+
+// BenchmarkRichtmyerMeshkov measures synthetic dataset generation.
+func BenchmarkRichtmyerMeshkov(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RichtmyerMeshkov(65, 65, 60, 250, 1)
+	}
+}

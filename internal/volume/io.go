@@ -1,0 +1,113 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileMagic identifies the on-disk volume header ("VOL1").
+const fileMagic = 0x564f4c31
+
+// Write serializes the grid (a fixed 24-byte header followed by the raw
+// x-fastest sample payload) to w.
+func (g *Grid) Write(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.Fmt))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.Nx))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(hdr[20:], 0) // reserved
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("volume: writing header: %w", err)
+	}
+	if _, err := w.Write(g.data); err != nil {
+		return fmt.Errorf("volume: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a grid written by Write.
+func Read(r io.Reader) (*Grid, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != fileMagic {
+		return nil, fmt.Errorf("volume: bad magic %#x", m)
+	}
+	f := Format(binary.LittleEndian.Uint32(hdr[4:]))
+	if f != U8 && f != U16 && f != F32 {
+		return nil, fmt.Errorf("volume: bad format %d", int(f))
+	}
+	nx := int(binary.LittleEndian.Uint32(hdr[8:]))
+	ny := int(binary.LittleEndian.Uint32(hdr[12:]))
+	nz := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if nx <= 0 || ny <= 0 || nz <= 0 || nx*ny*nz > 1<<32 {
+		return nil, fmt.Errorf("volume: bad dimensions %d×%d×%d", nx, ny, nz)
+	}
+	g := New(nx, ny, nz, f)
+	if _, err := io.ReadFull(r, g.data); err != nil {
+		return nil, fmt.Errorf("volume: reading payload: %w", err)
+	}
+	return g, nil
+}
+
+// WriteFile writes the grid to path, creating or truncating it.
+func (g *Grid) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := g.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a grid from path.
+func ReadFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReaderSize(f, 1<<20))
+}
+
+// ReadRaw reads a headerless raw volume (the distribution format of the
+// Stanford volume archive and volvis datasets: x-fastest samples, nothing
+// else) with caller-supplied dimensions and scalar format. The file size
+// must match exactly.
+func ReadRaw(path string, nx, ny, nz int, f Format) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("volume: bad raw dimensions %d×%d×%d", nx, ny, nz)
+	}
+	want := nx * ny * nz * f.Bytes()
+	if len(data) != want {
+		return nil, fmt.Errorf("volume: %s is %d bytes, %d×%d×%d %s needs %d",
+			path, len(data), nx, ny, nz, f, want)
+	}
+	g := New(nx, ny, nz, f)
+	copy(g.data, data)
+	return g, nil
+}
+
+// WriteRaw writes just the sample payload (no header), producing a file
+// readable by other volume tools and by ReadRaw.
+func (g *Grid) WriteRaw(path string) error {
+	return os.WriteFile(path, g.data, 0o644)
+}

@@ -1,0 +1,55 @@
+package volume
+
+import "repro/internal/rng"
+
+// valueNoise evaluates deterministic trilinear value noise at a continuous
+// point. Lattice values come from rng.Hash3, so the field is identical for a
+// given seed on every platform.
+func valueNoise(x, y, z float32, seed uint64) float32 {
+	xi, yi, zi := floor32(x), floor32(y), floor32(z)
+	fx, fy, fz := x-float32(xi), y-float32(yi), z-float32(zi)
+	// Smoothstep fade for C1 continuity across lattice cells.
+	fx, fy, fz = fade(fx), fade(fy), fade(fz)
+
+	var c [2][2][2]float32
+	for dz := int32(0); dz < 2; dz++ {
+		for dy := int32(0); dy < 2; dy++ {
+			for dx := int32(0); dx < 2; dx++ {
+				c[dz][dy][dx] = rng.Hash3Float(xi+dx, yi+dy, zi+dz, seed)
+			}
+		}
+	}
+	lerp := func(a, b, t float32) float32 { return a + t*(b-a) }
+	x00 := lerp(c[0][0][0], c[0][0][1], fx)
+	x10 := lerp(c[0][1][0], c[0][1][1], fx)
+	x01 := lerp(c[1][0][0], c[1][0][1], fx)
+	x11 := lerp(c[1][1][0], c[1][1][1], fx)
+	y0 := lerp(x00, x10, fy)
+	y1 := lerp(x01, x11, fy)
+	return lerp(y0, y1, fz)
+}
+
+// fbm sums octaves of value noise with lacunarity 2 and gain 0.5, returning a
+// value in roughly [0, 1).
+func fbm(x, y, z float32, octaves int, seed uint64) float32 {
+	var sum, norm float32
+	amp := float32(1)
+	freq := float32(1)
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise(x*freq, y*freq, z*freq, seed+uint64(o)*0x9e37)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}
+
+func floor32(v float32) int32 {
+	i := int32(v)
+	if float32(i) > v {
+		i--
+	}
+	return i
+}
+
+func fade(t float32) float32 { return t * t * (3 - 2*t) }

@@ -1,0 +1,188 @@
+// Package repro is the public API of the out-of-core parallel isosurface
+// extraction and rendering library, a reproduction of Wang, JaJa & Varshney,
+// "An Efficient and Scalable Parallel Algorithm for Out-of-Core Isosurface
+// Extraction and Rendering" (IPDPS 2006).
+//
+// The library preprocesses large scalar volumes into metacells indexed by a
+// compact interval tree, distributes the data across the local disks of a
+// (simulated) visualization cluster with per-brick striping, extracts
+// isosurfaces with provably balanced per-node work and I/O-optimal disk
+// access, renders each node's triangles with a software z-buffer rasterizer,
+// and composites the framebuffers sort-last onto a tiled display.
+//
+// Quick start:
+//
+//	vol := repro.GenerateRM(256, 256, 240, 250, 42) // synthetic RM time step
+//	eng, err := repro.Preprocess(vol, repro.Config{Procs: 4})
+//	// handle err
+//	res, err := eng.Extract(190, repro.Options{KeepMeshes: true})
+//	// handle err
+//	img, err := repro.RenderComposite(res, 1024, 768)
+//	// handle err
+//	err = img.WritePPMFile("isosurface.ppm")
+//
+// The deeper machinery lives in internal packages (see DESIGN.md for the
+// map); this package re-exports the types a downstream user needs.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/composite"
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/render"
+	"repro/internal/unstructured"
+	"repro/internal/volume"
+)
+
+// Re-exported core types. Aliases keep the internal packages private while
+// giving users a complete, importable surface.
+type (
+	// Grid is a regular scalar volume (see GenerateRM and the Generate*
+	// helpers, or build one sample-by-sample with volume accessors).
+	Grid = volume.Grid
+	// Format selects a grid's scalar storage width.
+	Format = volume.Format
+	// Config controls preprocessing and data distribution.
+	Config = cluster.Config
+	// Engine is a preprocessed dataset distributed across node-local disks.
+	Engine = cluster.Engine
+	// TimeVaryingEngine holds multiple preprocessed time steps.
+	TimeVaryingEngine = cluster.TimeVaryingEngine
+	// Options controls an extraction.
+	Options = cluster.Options
+	// Result is the outcome of one parallel extraction.
+	Result = cluster.Result
+	// NodeResult is one node's share of an extraction.
+	NodeResult = cluster.NodeResult
+	// Mesh is a triangle soup produced by extraction.
+	Mesh = geom.Mesh
+	// Triangle is one isosurface triangle.
+	Triangle = geom.Triangle
+	// Vec3 is a single-precision 3-vector.
+	Vec3 = geom.Vec3
+	// Framebuffer is a color+depth image.
+	Framebuffer = render.Framebuffer
+	// Camera is a perspective look-at camera.
+	Camera = render.Camera
+	// Tile is one display server's region of the tiled wall.
+	Tile = composite.Tile
+	// IndexedMesh is a welded mesh ready for export (OBJ/STL/PLY).
+	IndexedMesh = meshio.IndexedMesh
+	// TetMesh is an unstructured tetrahedral grid with per-vertex scalars.
+	TetMesh = unstructured.Mesh
+	// TetIndex accelerates isosurface extraction over a TetMesh.
+	TetIndex = unstructured.Index
+)
+
+// Scalar storage formats.
+const (
+	U8  = volume.U8
+	U16 = volume.U16
+	F32 = volume.F32
+)
+
+// GenerateRM produces one time step of the deterministic synthetic
+// Richtmyer–Meshkov stand-in dataset (see DESIGN.md §2 for how it
+// substitutes for the LLNL original).
+func GenerateRM(nx, ny, nz, step int, seed uint64) *Grid {
+	return volume.RichtmyerMeshkov(nx, ny, nz, step, seed)
+}
+
+// GenerateSphere produces an n³ test volume whose isosurfaces are spheres.
+func GenerateSphere(n int) *Grid { return volume.Sphere(n) }
+
+// GenerateTorus produces an n³ test volume whose mid-range isosurfaces are
+// tori.
+func GenerateTorus(n int) *Grid { return volume.Torus(n) }
+
+// Preprocess extracts metacells from a volume, builds the compact interval
+// tree, and stripes the bricks across cfg.Procs node-local disks.
+func Preprocess(g *Grid, cfg Config) (*Engine, error) { return cluster.Build(g, cfg) }
+
+// PreprocessTimeVarying preprocesses several time steps produced by gen.
+func PreprocessTimeVarying(gen func(step int) *Grid, steps []int, cfg Config) (*TimeVaryingEngine, error) {
+	return cluster.BuildTimeVarying(gen, steps, cfg)
+}
+
+// TimeVaryingRM returns a generator for the synthetic RM dataset, for use
+// with PreprocessTimeVarying.
+func TimeVaryingRM(nx, ny, nz int, seed uint64) func(step int) *Grid {
+	return volume.TimeVaryingRM(nx, ny, nz, seed)
+}
+
+// RenderComposite renders each node's mesh on its own (software) GPU and
+// z-composites the framebuffers sort-last, returning the merged image. The
+// extraction must have been run with Options.KeepMeshes.
+func RenderComposite(res *Result, w, h int) (*Framebuffer, error) {
+	fbs, err := renderNodes(res, w, h)
+	if err != nil {
+		return nil, err
+	}
+	merged, _, err := composite.ZComposite(fbs...)
+	return merged, err
+}
+
+// RenderWall runs the full sort-last pipeline onto a tilesX×tilesY display
+// wall, returning the per-display tiles (the paper's four-projector wall is
+// 2×2).
+func RenderWall(res *Result, w, h, tilesX, tilesY int) ([]Tile, error) {
+	fbs, err := renderNodes(res, w, h)
+	if err != nil {
+		return nil, err
+	}
+	tiles, _, err := composite.SortLast(fbs, tilesX, tilesY)
+	return tiles, err
+}
+
+// AssembleWall stitches display tiles back into a single image for saving.
+func AssembleWall(tiles []Tile, tilesX, tilesY int) (*Framebuffer, error) {
+	return composite.Assemble(tiles, tilesX, tilesY)
+}
+
+// MergeMeshes concatenates the per-node meshes of an extraction (run with
+// Options.KeepMeshes) into one triangle soup.
+func MergeMeshes(res *Result) (*Mesh, error) {
+	var out Mesh
+	for _, n := range res.PerNode {
+		if n.Mesh == nil {
+			return nil, fmt.Errorf("repro: node %d has no mesh; extract with Options{KeepMeshes: true}", n.Node)
+		}
+		out.Append(n.Mesh.Tris...)
+	}
+	return &out, nil
+}
+
+// IndexMesh welds a triangle soup into an indexed mesh with shared vertices,
+// ready for WriteFile(".obj"/".stl"/".ply").
+func IndexMesh(m *Mesh) *IndexedMesh { return meshio.Index(m) }
+
+// TetMeshFromGrid converts a regular grid into a conforming tetrahedral mesh
+// (six tets per cell), the entry point of the unstructured pipeline.
+func TetMeshFromGrid(g *Grid) *TetMesh { return unstructured.FromGrid(g) }
+
+// NewTetIndex builds the cluster interval index over a tetrahedral mesh.
+func NewTetIndex(m *TetMesh, clusterSize int) (*TetIndex, error) {
+	return unstructured.NewIndex(m, clusterSize)
+}
+
+func renderNodes(res *Result, w, h int) ([]*render.Framebuffer, error) {
+	bounds := geom.EmptyAABB()
+	for _, n := range res.PerNode {
+		if n.Mesh == nil {
+			return nil, fmt.Errorf("repro: node %d has no mesh; extract with Options{KeepMeshes: true}", n.Node)
+		}
+		bounds = bounds.Union(n.Mesh.Bounds())
+	}
+	cam := render.FitMesh(bounds, 45, w, h)
+	fbs := make([]*render.Framebuffer, len(res.PerNode))
+	for i, n := range res.PerNode {
+		fbs[i] = render.NewFramebuffer(w, h)
+		sh := render.DefaultShading()
+		sh.Base = render.NodeColor(n.Node)
+		render.DrawMesh(fbs[i], cam, n.Mesh, sh)
+	}
+	return fbs, nil
+}
