@@ -285,10 +285,25 @@ func BenchmarkAblationHostDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSchedule compares the two-phase and streaming extraction
+// schedules across the isovalue sweep.
+func BenchmarkAblationSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AblationSchedule(benchCfg(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("\n=== Ablation: two-phase vs streaming extraction (4 nodes) ===")
+			harness.PrintScheduleAblation(os.Stdout, 4, rows)
+		}
+	}
+}
+
 // --- Micro-benchmarks of the core operations ---
 
 // BenchmarkQuerySingleIsovalue measures one complete single-node query +
-// triangulation at the mid isovalue.
+// triangulation at the mid isovalue (default streaming schedule).
 func BenchmarkQuerySingleIsovalue(b *testing.B) {
 	eng, err := harness.Engine(benchCfg(), 1)
 	if err != nil {
@@ -304,6 +319,38 @@ func BenchmarkQuerySingleIsovalue(b *testing.B) {
 		tris = res.Triangles
 	}
 	b.ReportMetric(float64(tris), "triangles")
+}
+
+// extractScheduleBench runs a single-node extraction at the mid isovalue
+// under the given options — the head-to-head pair for the two schedules.
+func extractScheduleBench(b *testing.B, opts Options) {
+	b.Helper()
+	eng, err := harness.Engine(benchCfg(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Extract(110, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.MaxPeakBufferedBytes()
+	}
+	b.ReportMetric(float64(peak), "peak-buffered-bytes")
+}
+
+// BenchmarkExtractTwoPhase measures the legacy retrieve-then-triangulate
+// schedule, whose staging memory grows with the isosurface.
+func BenchmarkExtractTwoPhase(b *testing.B) {
+	extractScheduleBench(b, Options{TwoPhase: true})
+}
+
+// BenchmarkExtractStreaming measures the bounded-memory streaming pipeline
+// on the identical volume and isovalue.
+func BenchmarkExtractStreaming(b *testing.B) {
+	extractScheduleBench(b, Options{})
 }
 
 // BenchmarkAblationQueryStructures compares the four query acceleration

@@ -39,6 +39,7 @@ func main() {
 		w     = flag.Int("w", 640, "frame width")
 		h     = flag.Int("h", 480, "frame height")
 		out   = flag.String("o", "frame-%03d.png", "output pattern (printf-style, .png or .ppm)")
+		cache = flag.Int("cache", 2048, "LRU cache blocks per node disk (0 disables); keeps re-visited bricks in memory across frames")
 	)
 	flag.Parse()
 	if *from > *to || *strd <= 0 {
@@ -56,7 +57,7 @@ func main() {
 		steps = append(steps, s)
 	}
 	log.Printf("preprocessing %d steps on %d nodes…", len(steps), *procs)
-	tv, err := cluster.BuildTimeVarying(gen, steps, cluster.Config{Procs: *procs})
+	tv, err := cluster.BuildTimeVarying(gen, steps, cluster.Config{Procs: *procs, CacheBlocks: *cache})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,9 +24,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isobench: ")
 	var (
-		exp  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|all")
-		size = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
-		out  = flag.String("out", "figure4.ppm", "output image path for fig4")
+		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|all")
+		size  = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
+		out   = flag.String("out", "figure4.ppm", "output image path for fig4")
+		cache = flag.Int("cache", 0, "LRU cache blocks per node disk (0 = cold-cache paper model); warms isovalue sweeps")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	if *size == "small" {
 		cfg = harness.Small()
 	}
+	cfg.CacheBlocks = *cache
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
@@ -133,6 +135,13 @@ func main() {
 		check(err)
 		section("Ablation: query acceleration structures")
 		harness.PrintQueryStructuresAblation(os.Stdout, 110, qr)
+	}
+	if want("ablations") || *exp == "schedule" {
+		ran = true
+		sr, err := harness.AblationSchedule(cfg, 4)
+		check(err)
+		section("Ablation: two-phase vs streaming extraction (4 nodes)")
+		harness.PrintScheduleAblation(os.Stdout, 4, sr)
 	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)

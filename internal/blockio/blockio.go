@@ -24,8 +24,10 @@ const DefaultBlockSize = 8 * 1024
 type Stats struct {
 	Reads      int64 // read requests issued
 	BytesRead  int64 // payload bytes returned
-	BlocksRead int64 // distinct device blocks touched, counted per request
+	BlocksRead int64 // distinct device blocks touched
 	Seeks      int64 // requests that did not continue the previous request
+	CacheHits  int64 // blocks served from a Cache wrapper without device I/O
+	CacheMiss  int64 // blocks a Cache wrapper had to fetch from its inner device
 }
 
 // Add returns the element-wise sum of two Stats.
@@ -35,6 +37,8 @@ func (s Stats) Add(o Stats) Stats {
 		BytesRead:  s.BytesRead + o.BytesRead,
 		BlocksRead: s.BlocksRead + o.BlocksRead,
 		Seeks:      s.Seeks + o.Seeks,
+		CacheHits:  s.CacheHits + o.CacheHits,
+		CacheMiss:  s.CacheMiss + o.CacheMiss,
 	}
 }
 
@@ -98,9 +102,12 @@ func (s *Store) BlockSize() int { return s.blockSize }
 func (s *Store) Size() int64 { return int64(len(s.data)) }
 
 // ReadAt fills p with the bytes at [off, off+len(p)) and charges the request
-// to the counters: every block overlapping the range counts as read, and the
-// request counts as a seek unless it begins in the block that immediately
-// follows the previous request's last block (or in that same last block).
+// to the counters: every block overlapping the range counts as read — except
+// a block already counted because the previous request ended inside it, so a
+// contiguous range fetched as several sequential requests is charged exactly
+// the blocks a single request would have been — and the request counts as a
+// seek unless it begins in the block that immediately follows the previous
+// request's last block (or in that same last block).
 func (s *Store) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > int64(len(s.data)) {
 		return fmt.Errorf("blockio: read [%d,%d) outside device of size %d", off, off+int64(len(p)), len(s.data))
@@ -115,10 +122,13 @@ func (s *Store) ReadAt(p []byte, off int64) error {
 	s.mu.Lock()
 	s.stats.Reads++
 	s.stats.BytesRead += int64(len(p))
-	s.stats.BlocksRead += last - first + 1
-	if first != s.nextBlock && first != s.nextBlock-1 {
+	blocks := last - first + 1
+	if first == s.nextBlock-1 {
+		blocks-- // continuation within the previously counted block
+	} else if first != s.nextBlock {
 		s.stats.Seeks++
 	}
+	s.stats.BlocksRead += blocks
 	s.nextBlock = last + 1
 	s.mu.Unlock()
 	return nil

@@ -1,0 +1,133 @@
+package blockio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func cacheFixture(t *testing.T, size, blockSize, capBlocks int) (*Cache, *Store, []byte) {
+	t.Helper()
+	data := make([]byte, size)
+	rnd := rand.New(rand.NewSource(7))
+	rnd.Read(data)
+	inner := NewStore(data, blockSize)
+	return NewCache(inner, blockSize, capBlocks), inner, data
+}
+
+func TestCacheReadsMatchDevice(t *testing.T) {
+	c, _, data := cacheFixture(t, 4096+13, 64, 8)
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		off := rnd.Intn(len(data))
+		n := rnd.Intn(len(data) - off)
+		got := make([]byte, n)
+		if err := c.ReadAt(got, int64(off)); err != nil {
+			t.Fatalf("read [%d,%d): %v", off, off+n, err)
+		}
+		if !bytes.Equal(got, data[off:off+n]) {
+			t.Fatalf("read [%d,%d) returned wrong bytes", off, off+n)
+		}
+	}
+}
+
+func TestCacheHitsAvoidInnerIO(t *testing.T) {
+	c, inner, _ := cacheFixture(t, 1024, 64, 16) // whole device fits
+	buf := make([]byte, 1024)
+	if err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cold := c.Stats()
+	if cold.CacheMiss != 16 || cold.CacheHits != 0 {
+		t.Errorf("cold sweep: %d misses, %d hits, want 16/0", cold.CacheMiss, cold.CacheHits)
+	}
+	innerAfterCold := inner.Stats()
+
+	if err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	warm := c.Stats()
+	if warm.CacheHits != 16 {
+		t.Errorf("warm sweep hits = %d, want 16", warm.CacheHits)
+	}
+	if got := inner.Stats(); got != innerAfterCold {
+		t.Errorf("warm sweep touched the inner device: %+v vs %+v", got, innerAfterCold)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c, _, _ := cacheFixture(t, 1024, 64, 4)
+	buf := make([]byte, 64)
+	// Touch blocks 0..7: capacity 4 keeps only 4..7.
+	for b := 0; b < 8; b++ {
+		if err := c.ReadAt(buf, int64(b*64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Resident(); n != 4 {
+		t.Fatalf("resident = %d, want 4", n)
+	}
+	c.ResetStats()
+	if err := c.ReadAt(buf, 7*64); err != nil { // still resident
+		t.Fatal(err)
+	}
+	if err := c.ReadAt(buf, 0); err != nil { // evicted
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CacheHits != 1 || st.CacheMiss != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMiss)
+	}
+}
+
+func TestCacheResetStatsKeepsBlocks(t *testing.T) {
+	c, _, _ := cacheFixture(t, 512, 64, 8)
+	buf := make([]byte, 512)
+	if err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.CacheHits != 0 || st.CacheMiss != 0 || st.Reads != 0 {
+		t.Errorf("counters not reset: %+v", st)
+	}
+	if err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CacheMiss != 0 || st.Reads != 0 {
+		t.Errorf("resident blocks re-fetched after ResetStats: %+v", st)
+	}
+}
+
+func TestCachePartialFinalBlock(t *testing.T) {
+	c, _, data := cacheFixture(t, 100, 64, 4) // final block is 36 bytes
+	got := make([]byte, 100)
+	if err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("full read through partial final block mismatched")
+	}
+	if err := c.ReadAt(got[:30], 70); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:30], data[70:100]) {
+		t.Error("warm partial-block read mismatched")
+	}
+	if st := c.Stats(); st.CacheMiss != 2 {
+		t.Errorf("misses = %d, want 2", st.CacheMiss)
+	}
+}
+
+func TestCacheOutOfRange(t *testing.T) {
+	c, _, _ := cacheFixture(t, 100, 64, 4)
+	if err := c.ReadAt(make([]byte, 10), 95); err == nil {
+		t.Error("read past end should fail")
+	}
+	if err := c.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if err := c.ReadAt(nil, 100); err != nil {
+		t.Errorf("empty read at end should succeed: %v", err)
+	}
+}

@@ -57,10 +57,13 @@ func (s *FileStore) ReadAt(p []byte, off int64) error {
 	s.mu.Lock()
 	s.stats.Reads++
 	s.stats.BytesRead += int64(len(p))
-	s.stats.BlocksRead += last - first + 1
-	if first != s.nextBlock && first != s.nextBlock-1 {
+	blocks := last - first + 1
+	if first == s.nextBlock-1 {
+		blocks-- // continuation within the previously counted block
+	} else if first != s.nextBlock {
 		s.stats.Seeks++
 	}
+	s.stats.BlocksRead += blocks
 	s.nextBlock = last + 1
 	s.mu.Unlock()
 	return nil

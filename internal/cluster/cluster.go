@@ -48,6 +48,11 @@ type Config struct {
 	// ThreadsPerNode is the number of CPUs each node uses for
 	// triangulation. The paper's nodes are 2-way SMPs; 0 means 1.
 	ThreadsPerNode int
+	// CacheBlocks, when > 0, wraps each node's disk (outside WrapDevice) in
+	// an LRU cache of that many BlockSize blocks, so repeated sweeps —
+	// animation, time-varying browsing, isovalue scans — serve hot index and
+	// brick blocks from memory. Stats report the hits and misses.
+	CacheBlocks int
 }
 
 func (c *Config) applyDefaults() error {
@@ -174,6 +179,9 @@ func buildFromCells(l metacell.Layout, cells []metacell.Cell, cfg Config) (*Engi
 		if cfg.WrapDevice != nil {
 			e.devs[i] = cfg.WrapDevice(i, e.devs[i])
 		}
+		if cfg.CacheBlocks > 0 {
+			e.devs[i] = blockio.NewCache(e.devs[i], cfg.BlockSize, cfg.CacheBlocks)
+		}
 	}
 	return e, nil
 }
@@ -222,8 +230,21 @@ type NodeResult struct {
 
 	IOStats     blockio.Stats // block accesses during AMC retrieval
 	IOModelTime time.Duration // the cost model applied to IOStats
-	AMCWall     time.Duration // measured wall time of the retrieval phase
-	TriWall     time.Duration // measured wall time of the triangulation phase
+	// AMCWall and TriWall are the busy times of the two phases. In two-phase
+	// mode the phases run back to back and these are their measured walls; in
+	// streaming mode they overlap, so AMCWall is the query producer's busy
+	// time (retrieval + batch copies, stalls excluded) and TriWall the
+	// slowest worker's triangulation busy time, keeping IOModelTime+TriWall
+	// comparable across the two schedules.
+	AMCWall time.Duration
+	TriWall time.Duration
+
+	// Streaming-pipeline statistics (zero in two-phase mode).
+	PipelineWall      time.Duration // elapsed time of the overlapped pipeline
+	Batches           int           // record batches that crossed the pipeline
+	PeakBufferedBytes int64         // max record bytes buffered at once, ≤ PipelineDepth×BatchRecords×recSize
+	ProducerStall     time.Duration // producer time blocked on a full pipeline
+	ConsumerStall     time.Duration // worker time blocked on an empty pipeline
 
 	Mesh *geom.Mesh // nil unless Options.KeepMeshes
 }
@@ -250,19 +271,52 @@ func (r *Result) MaxNodeTime() time.Duration {
 	return max
 }
 
+// Pipeline sizing defaults: with the paper's ~1 KB metacell records, four
+// buffered batches of 256 records bound each node's staging memory near
+// 1 MB regardless of how many metacells the isosurface touches.
+const (
+	DefaultBatchRecords  = 256
+	DefaultPipelineDepth = 4
+)
+
 // Options controls an extraction.
 type Options struct {
 	// KeepMeshes retains each node's triangle mesh in its NodeResult (needed
 	// for rendering; large for big isosurfaces).
 	KeepMeshes bool
+	// BatchRecords is the number of metacell records per streaming batch
+	// (0 = DefaultBatchRecords).
+	BatchRecords int
+	// PipelineDepth is the number of batch buffers circulating between the
+	// query producer and the triangulation workers; it bounds each node's
+	// peak staging memory at PipelineDepth×BatchRecords×recordSize bytes
+	// (0 = DefaultPipelineDepth).
+	PipelineDepth int
+	// TwoPhase selects the legacy buffer-everything extraction — stage every
+	// active metacell record in memory, then triangulate — whose peak memory
+	// grows with the isosurface. Kept as the ablation baseline.
+	TwoPhase bool
+}
+
+func (o Options) applyDefaults() Options {
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = DefaultBatchRecords
+	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = DefaultPipelineDepth
+	}
+	return o
 }
 
 // Extract runs the isosurface query on all nodes in parallel. Each node
-// performs the paper's two phases independently against its own disk:
-// retrieve the active metacell records via its compact interval tree, then
-// triangulate them with marching cubes. There is no inter-node
-// communication.
+// works independently against its own disk with no inter-node communication:
+// by default a streaming pipeline in which a query producer feeds active
+// metacell record batches through a bounded channel to the node's
+// marching-cubes workers, overlapping disk I/O with triangulation under a
+// fixed memory bound; with Options.TwoPhase, the paper's original
+// retrieve-everything-then-triangulate schedule.
 func (e *Engine) Extract(iso float32, opts Options) (*Result, error) {
+	opts = opts.applyDefaults()
 	res := &Result{Iso: iso, PerNode: make([]NodeResult, e.Procs)}
 	errs := make([]error, e.Procs)
 	start := time.Now()
@@ -288,9 +342,20 @@ func (e *Engine) Extract(iso float32, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// extractNode is the per-node worker: phase 1 retrieves active metacell
-// records (I/O), phase 2 triangulates them (CPU).
+// extractNode runs one node's share of an extraction with the schedule the
+// options select.
 func (e *Engine) extractNode(node int, iso float32, opts Options) (NodeResult, error) {
+	if opts.TwoPhase {
+		return e.extractNodeTwoPhase(node, iso, opts)
+	}
+	return e.extractNodeStreaming(node, iso, opts)
+}
+
+// extractNodeTwoPhase is the legacy per-node schedule: phase 1 retrieves all
+// active metacell records (I/O), phase 2 triangulates them (CPU). Its staging
+// buffer grows with the isosurface, which is what the streaming pipeline
+// exists to avoid; it is kept as the ablation baseline.
+func (e *Engine) extractNodeTwoPhase(node int, iso float32, opts Options) (NodeResult, error) {
 	nr := NodeResult{Node: node}
 	dev := e.devs[node]
 	dev.ResetStats()

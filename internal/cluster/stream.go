@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/march"
+	"repro/internal/metacell"
+)
+
+// errPipelineAborted is what the producer returns from its emit callback once
+// a worker has failed; the worker's error is the one reported.
+var errPipelineAborted = errors.New("cluster: pipeline aborted")
+
+// streamBatch is one pipeline message: nrec records back to back in buf,
+// whose capacity is the full batch buffer being circulated.
+type streamBatch struct {
+	seq  int
+	buf  []byte
+	nrec int
+}
+
+// batchOutput is one worker's result for one batch. Outputs are reassembled
+// in seq order after the pipeline drains, so the merged mesh is byte-for-byte
+// the one the two-phase schedule produces.
+type batchOutput struct {
+	seq   int
+	cells int
+	tris  int
+	mesh  []geom.Triangle // nil unless KeepMeshes
+}
+
+// extractNodeStreaming is the per-node streaming schedule: a producer
+// goroutine walks the compact interval tree emitting record batches into a
+// ring of PipelineDepth fixed-size buffers, and the node's Threads
+// marching-cubes workers consume them, so disk I/O overlaps triangulation.
+// Peak staging memory is PipelineDepth×BatchRecords×recordSize bytes — a
+// constant chosen up front — where the two-phase schedule stages all active
+// metacell bytes, which grow with the isosurface.
+func (e *Engine) extractNodeStreaming(node int, iso float32, opts Options) (NodeResult, error) {
+	nr := NodeResult{Node: node}
+	dev := e.devs[node]
+	dev.ResetStats()
+	recSize := e.Layout.RecordSize()
+	depth := opts.PipelineDepth
+	threads := e.Threads
+	if threads < 1 {
+		threads = 1
+	}
+
+	work := make(chan streamBatch)
+	free := make(chan []byte, depth)
+	for i := 0; i < depth; i++ {
+		free <- make([]byte, opts.BatchRecords*recSize)
+	}
+	done := make(chan struct{}) // closed on the first worker failure
+	var closeDone sync.Once
+	abort := func() { closeDone.Do(func() { close(done) }) }
+
+	var buffered, peakBuffered atomic.Int64
+
+	// Producer: every emitted batch is copied into a free buffer and sent
+	// downstream. Blocking on an exhausted free list (all depth buffers in
+	// flight) is precisely the pipeline's memory bound; the time spent there
+	// is reported as ProducerStall.
+	var (
+		qstats        core.QueryStats
+		qerr          error
+		producerStall time.Duration
+		amcWall       time.Duration
+	)
+	start := time.Now()
+	var wgProd sync.WaitGroup
+	wgProd.Add(1)
+	go func() {
+		defer wgProd.Done()
+		defer close(work)
+		seq := 0
+		qstats, qerr = e.trees[node].QueryBatches(dev, iso, opts.BatchRecords, func(batch []byte, nrec int) error {
+			var buf []byte
+			tw := time.Now()
+			select {
+			case buf = <-free:
+			case <-done:
+				return errPipelineAborted
+			}
+			producerStall += time.Since(tw)
+			buf = buf[:len(batch)]
+			copy(buf, batch)
+			if cur := buffered.Add(int64(len(batch))); cur > peakBuffered.Load() {
+				storeMax(&peakBuffered, cur)
+			}
+			tw = time.Now()
+			select {
+			case work <- streamBatch{seq: seq, buf: buf, nrec: nrec}:
+			case <-done:
+				buffered.Add(-int64(len(batch)))
+				return errPipelineAborted
+			}
+			producerStall += time.Since(tw) // blocked on busy workers
+			seq++
+			return nil
+		})
+		amcWall = time.Since(start)
+	}()
+
+	// Workers: triangulate each batch, recycle its buffer, and keep the
+	// per-batch outputs for the ordered merge. A decode failure aborts the
+	// pipeline: done unblocks the producer, the producer closes work, and the
+	// remaining workers drain and exit — no goroutine outlives this call.
+	outs := make([][]batchOutput, threads)
+	werrs := make([]error, threads)
+	busy := make([]time.Duration, threads) // per-worker triangulation time
+	var consumerStall atomic.Int64         // nanoseconds
+	var wgWork sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wgWork.Add(1)
+		go func(t int) {
+			defer wgWork.Done()
+			var m metacell.Meta
+			scratch := &geom.Mesh{}
+			for {
+				tw := time.Now()
+				sb, ok := <-work
+				consumerStall.Add(int64(time.Since(tw)))
+				if !ok {
+					return
+				}
+				tb := time.Now()
+				out := batchOutput{seq: sb.seq}
+				for r := 0; r < sb.nrec; r++ {
+					rec := sb.buf[r*recSize : (r+1)*recSize]
+					if err := metacell.DecodeRecordInto(e.Layout, rec, &m); err != nil {
+						werrs[t] = fmt.Errorf("cluster: node %d decode: %w", node, err)
+						break
+					}
+					out.cells += march.Metacell(e.Layout, &m, iso, scratch)
+				}
+				busy[t] += time.Since(tb)
+				buffered.Add(-int64(len(sb.buf)))
+				free <- sb.buf[:cap(sb.buf)]
+				if werrs[t] != nil {
+					abort()
+					return
+				}
+				out.tris = scratch.Len()
+				if opts.KeepMeshes {
+					out.mesh = scratch.Tris
+					scratch = &geom.Mesh{}
+				} else {
+					scratch.Tris = scratch.Tris[:0]
+				}
+				outs[t] = append(outs[t], out)
+			}
+		}(t)
+	}
+
+	wgProd.Wait()
+	wgWork.Wait()
+	wall := time.Since(start)
+
+	for _, err := range werrs {
+		if err != nil {
+			return nr, err
+		}
+	}
+	if qerr != nil && !errors.Is(qerr, errPipelineAborted) {
+		return nr, fmt.Errorf("cluster: node %d query: %w", node, qerr)
+	}
+
+	nr.ActiveMetacells = qstats.ActiveMetacells
+	nr.Batches = qstats.Batches
+	nr.AMCWall = amcWall - producerStall // producer busy time: query + batch copies
+	for _, b := range busy {
+		if b > nr.TriWall {
+			nr.TriWall = b // slowest worker's triangulation busy time
+		}
+	}
+	nr.PipelineWall = wall
+	nr.IOStats = dev.Stats()
+	nr.IOModelTime = e.Disk.Time(nr.IOStats)
+	nr.PeakBufferedBytes = peakBuffered.Load()
+	nr.ProducerStall = producerStall
+	nr.ConsumerStall = time.Duration(consumerStall.Load())
+
+	// Ordered merge: batch seq order is record order, so the concatenated
+	// mesh matches the two-phase schedule's exactly.
+	var all []batchOutput
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	mesh := &geom.Mesh{}
+	for _, o := range all {
+		nr.ActiveCells += o.cells
+		nr.Triangles += o.tris
+		if opts.KeepMeshes {
+			mesh.Append(o.mesh...)
+		}
+	}
+	if opts.KeepMeshes {
+		nr.Mesh = mesh
+	}
+	return nr, nil
+}
+
+// storeMax raises p to at least v.
+func storeMax(p *atomic.Int64, v int64) {
+	for {
+		old := p.Load()
+		if v <= old || p.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// MaxPeakBufferedBytes returns the largest per-node pipeline staging peak of
+// the extraction (0 for two-phase runs, which report no pipeline stats).
+func (r *Result) MaxPeakBufferedBytes() int64 {
+	var max int64
+	for i := range r.PerNode {
+		if b := r.PerNode[i].PeakBufferedBytes; b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/blockio"
+)
+
+// TestStreamingMatchesTwoPhaseProperty is the schedule-equivalence property
+// test: across random isovalues, node counts, thread counts and pipeline
+// shapes, the streaming pipeline must report exactly the two-phase
+// schedule's ActiveMetacells, ActiveCells and Triangles, and (with
+// KeepMeshes) produce byte-identical per-node meshes.
+func TestStreamingMatchesTwoPhaseProperty(t *testing.T) {
+	g := rmGrid()
+	rnd := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 8; trial++ {
+		procs := 1 + rnd.Intn(3)
+		threads := 1 + rnd.Intn(3)
+		iso := float32(rnd.Intn(256))
+		opts := Options{
+			KeepMeshes:    true,
+			BatchRecords:  1 + rnd.Intn(64),
+			PipelineDepth: 1 + rnd.Intn(5),
+		}
+		e, err := Build(g, Config{Procs: procs, ThreadsPerNode: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := e.Extract(iso, Options{KeepMeshes: true, TwoPhase: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := e.Extract(iso, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if str.Active != two.Active || str.Triangles != two.Triangles {
+			t.Errorf("trial %d (iso=%v p=%d t=%d %+v): streaming %d/%d, two-phase %d/%d (active/triangles)",
+				trial, iso, procs, threads, opts, str.Active, str.Triangles, two.Active, two.Triangles)
+			continue
+		}
+		for i := range str.PerNode {
+			s, w := &str.PerNode[i], &two.PerNode[i]
+			if s.ActiveMetacells != w.ActiveMetacells || s.ActiveCells != w.ActiveCells || s.Triangles != w.Triangles {
+				t.Errorf("trial %d node %d: counts diverge: %d/%d/%d vs %d/%d/%d",
+					trial, i, s.ActiveMetacells, s.ActiveCells, s.Triangles,
+					w.ActiveMetacells, w.ActiveCells, w.Triangles)
+			}
+			if !slices.Equal(s.Mesh.Tris, w.Mesh.Tris) {
+				t.Errorf("trial %d node %d (iso=%v p=%d t=%d %+v): meshes not byte-identical",
+					trial, i, iso, procs, threads, opts)
+			}
+		}
+	}
+}
+
+// TestStreamingPeakBounded checks the pipeline's memory guarantee: peak
+// buffered bytes never exceed PipelineDepth × BatchRecords × recordSize,
+// even when the active set is much larger.
+func TestStreamingPeakBounded(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{BatchRecords: 8, PipelineDepth: 2}
+	res, err := e.Extract(128, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := e.Layout.RecordSize()
+	bound := int64(opts.PipelineDepth * opts.BatchRecords * recSize)
+	n := &res.PerNode[0]
+	if n.PeakBufferedBytes <= 0 || n.PeakBufferedBytes > bound {
+		t.Errorf("peak buffered %d bytes outside (0, %d]", n.PeakBufferedBytes, bound)
+	}
+	staged := int64(n.ActiveMetacells * recSize)
+	if staged <= bound {
+		t.Fatalf("workload too small to exercise the bound: %d staged vs bound %d", staged, bound)
+	}
+	if n.Batches <= 1 {
+		t.Errorf("expected multiple batches, got %d", n.Batches)
+	}
+	if n.PipelineWall <= 0 {
+		t.Error("pipeline wall not recorded")
+	}
+}
+
+// TestCacheBlocksWarmSweep checks the Config.CacheBlocks wiring end to end:
+// a repeated extraction at the same isovalue is served from the per-node
+// block caches (hits, no fresh device reads) and still produces identical
+// results.
+func TestCacheBlocksWarmSweep(t *testing.T) {
+	g := rmGrid()
+	plain, err := Build(g, Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Build(g, Config{Procs: 2, CacheBlocks: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cached.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cached.Extract(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{cold, warm} {
+		if res.Active != want.Active || res.Triangles != want.Triangles {
+			t.Errorf("cached engine diverges: %d/%d vs %d/%d", res.Active, res.Triangles, want.Active, want.Triangles)
+		}
+	}
+	for i := range warm.PerNode {
+		coldIO, warmIO := cold.PerNode[i].IOStats, warm.PerNode[i].IOStats
+		if coldIO.CacheMiss == 0 {
+			t.Errorf("node %d: cold sweep reported no cache misses: %+v", i, coldIO)
+		}
+		if warmIO.CacheHits == 0 || warmIO.CacheMiss != 0 || warmIO.Reads != 0 {
+			t.Errorf("node %d: warm sweep should be all hits with no device reads: %+v", i, warmIO)
+		}
+		if warm.PerNode[i].IOModelTime != 0 {
+			t.Errorf("node %d: warm sweep charged modeled disk time %v", i, warm.PerNode[i].IOModelTime)
+		}
+	}
+}
+
+// TestStreamingFaultAbortsWithoutLeaks injects a mid-stream read failure and
+// checks the pipeline shuts down cleanly: the injected error surfaces from
+// Extract and no producer or worker goroutine outlives the call. Run under
+// -race in CI.
+func TestStreamingFaultAbortsWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e, err := Build(rmGrid(), Config{
+		Procs:          2,
+		ThreadsPerNode: 2,
+		WrapDevice: func(node int, dev blockio.Device) blockio.Device {
+			// Fail partway through node 1's retrieval so batches are already
+			// in flight when the producer dies.
+			if node == 1 {
+				return &blockio.FaultDevice{Inner: dev, FailEvery: 4}
+			}
+			return dev
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		_, err := e.Extract(128, Options{BatchRecords: 4, PipelineDepth: 2})
+		if err == nil {
+			t.Fatal("extraction with a failing disk should return an error")
+		}
+		if !errors.Is(err, blockio.ErrInjected) {
+			t.Fatalf("error should wrap the injected fault, got: %v", err)
+		}
+	}
+	// Pipeline goroutines exit before Extract returns; allow the runtime a
+	// moment to retire them before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -181,8 +181,17 @@ func (et *ExternalTree) Query(data blockio.Device, iso float32, visit func(rec [
 	}
 	buf := make([]byte, chunkRecs*recSize)
 
-	// A Tree shim reuses the Case-1/Case-2 brick readers.
+	// A Tree shim reuses the Case-1/Case-2 batch readers; emit unpacks each
+	// batch into per-record visits.
 	shim := &Tree{Layout: et.Layout}
+	emit := func(batch []byte, nrec int) error {
+		for i := 0; i < nrec; i++ {
+			if err := visit(batch[i*recSize : (i+1)*recSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	n := et.Root
 	for n >= 0 {
@@ -196,7 +205,7 @@ func (et *ExternalTree) Query(data blockio.Device, iso float32, visit func(rec [
 		}
 		st.NodesVisited++
 		if iso >= node.VM {
-			if err := shim.bulkRead(data, &node, iso, recSize, visit, &st); err != nil {
+			if err := shim.bulkRead(data, &node, iso, recSize, buf, emit, &st); err != nil {
 				return st, err
 			}
 			n = node.Right
@@ -208,7 +217,7 @@ func (et *ExternalTree) Query(data blockio.Device, iso float32, visit func(rec [
 					continue
 				}
 				st.BrickScans++
-				if err := shim.scanBrick(data, e, iso, recSize, buf, visit, &st); err != nil {
+				if err := shim.scanBrick(data, e, iso, recSize, buf, emit, &st); err != nil {
 					return st, err
 				}
 			}

@@ -14,24 +14,32 @@ type QueryStats struct {
 	BulkReads       int // Case-1 contiguous multi-brick reads
 	BrickScans      int // Case-2 bricks scanned from the front
 	BricksSkipped   int // Case-2 bricks skipped via their MinVMin field
+	Batches         int // record batches emitted (QueryBatches granularity)
 }
 
-// Query streams the records of every metacell whose interval contains iso
-// (vmin ≤ iso ≤ vmax) from dev to visit, performing the paper's I/O-optimal
-// walk: O(log n) index decisions plus O(T/B) block reads for T bytes of
-// active metacells. The record slice passed to visit is reused; the visitor
-// must not retain it.
-func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) error) (QueryStats, error) {
+// QueryBatches streams the records of every metacell whose interval contains
+// iso (vmin ≤ iso ≤ vmax) from dev to emit in batches of at most batchRecs
+// records (0 selects one disk block's worth), performing the paper's
+// I/O-optimal walk: O(log n) index decisions plus O(T/B) block reads for T
+// bytes of active metacells. The Case-1 contiguous bulk read is chunked at
+// batch granularity and Case-2 brick scans at one block per read (their
+// batches may run smaller than batchRecs), so peak memory is one batch —
+// never the total active-metacell bytes — regardless of output size. The
+// batch slice passed to emit holds nrec records back to back and is reused
+// across calls; the consumer must copy what it retains.
+func (t *Tree) QueryBatches(dev blockio.Device, iso float32, batchRecs int, emit func(batch []byte, nrec int) error) (QueryStats, error) {
 	var st QueryStats
 	recSize := t.Layout.RecordSize()
-	// Case-2 scans read one disk block's worth of records at a time, so the
-	// over-read past the stopping metacell is at most one block, matching
-	// the paper's cost model.
-	chunkRecs := blockio.DefaultBlockSize / recSize
-	if chunkRecs < 1 {
-		chunkRecs = 1
+	if batchRecs <= 0 {
+		// One disk block's worth of records per batch: Case-2 scans then
+		// over-read past the stopping metacell by at most one block, matching
+		// the paper's cost model.
+		batchRecs = blockio.DefaultBlockSize / recSize
+		if batchRecs < 1 {
+			batchRecs = 1
+		}
 	}
-	buf := make([]byte, chunkRecs*recSize)
+	buf := make([]byte, batchRecs*recSize)
 
 	n := t.Root
 	for n >= 0 {
@@ -40,8 +48,9 @@ func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) err
 		if iso >= node.VM {
 			// Case 1: every metacell in the prefix of bricks with
 			// vmax ≥ iso is active (their vmin ≤ vm ≤ iso). The bricks are
-			// contiguous on disk, so fetch them with a single bulk read.
-			if err := t.bulkRead(dev, node, iso, recSize, visit, &st); err != nil {
+			// contiguous on disk, so fetch them with one logical bulk read,
+			// issued as sequential batch-sized requests.
+			if err := t.bulkRead(dev, node, iso, recSize, buf, emit, &st); err != nil {
 				return st, err
 			}
 			n = node.Right
@@ -56,7 +65,7 @@ func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) err
 					continue
 				}
 				st.BrickScans++
-				if err := t.scanBrick(dev, e, iso, recSize, buf, visit, &st); err != nil {
+				if err := t.scanBrick(dev, e, iso, recSize, buf, emit, &st); err != nil {
 					return st, err
 				}
 			}
@@ -66,10 +75,28 @@ func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) err
 	return st, nil
 }
 
-// bulkRead performs the Case-1 read: one contiguous fetch of all bricks with
-// vmax ≥ iso. Entries are in decreasing vmax order and their bricks adjacent
-// on disk.
-func (t *Tree) bulkRead(dev blockio.Device, node *Node, iso float32, recSize int, visit func([]byte) error, st *QueryStats) error {
+// Query streams the active metacell records one at a time to visit — a thin
+// per-record wrapper over QueryBatches with the default (one-block) batch
+// size. The record slice passed to visit is reused; the visitor must not
+// retain it.
+func (t *Tree) Query(dev blockio.Device, iso float32, visit func(rec []byte) error) (QueryStats, error) {
+	recSize := t.Layout.RecordSize()
+	return t.QueryBatches(dev, iso, 0, func(batch []byte, nrec int) error {
+		for i := 0; i < nrec; i++ {
+			if err := visit(batch[i*recSize : (i+1)*recSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// bulkRead performs the Case-1 read: all bricks with vmax ≥ iso, which are in
+// decreasing vmax order and adjacent on disk. The contiguous range is fetched
+// as sequential batch-sized requests into buf (no seek between them, so the
+// disk-model cost equals a single request), and each chunk is emitted as one
+// batch.
+func (t *Tree) bulkRead(dev blockio.Device, node *Node, iso float32, recSize int, buf []byte, emit func([]byte, int) error, st *QueryStats) error {
 	last := -1
 	var total int64
 	for ei := range node.Entries {
@@ -82,29 +109,47 @@ func (t *Tree) bulkRead(dev blockio.Device, node *Node, iso float32, recSize int
 	if last < 0 {
 		return nil
 	}
-	start := node.Entries[0].Offset
-	buf := make([]byte, total)
-	if err := dev.ReadAt(buf, start); err != nil {
-		return fmt.Errorf("core: bulk read of %d bricks at %d: %w", last+1, start, err)
-	}
 	st.BulkReads++
-	for off := 0; off < len(buf); off += recSize {
-		st.ActiveMetacells++
-		if err := visit(buf[off : off+recSize]); err != nil {
+	off := node.Entries[0].Offset
+	remaining := total
+	for remaining > 0 {
+		chunk := buf
+		if int64(len(chunk)) > remaining {
+			chunk = chunk[:remaining]
+		}
+		if err := dev.ReadAt(chunk, off); err != nil {
+			return fmt.Errorf("core: bulk read of %d bricks at %d: %w", last+1, node.Entries[0].Offset, err)
+		}
+		nrec := len(chunk) / recSize
+		st.ActiveMetacells += nrec
+		st.Batches++
+		if err := emit(chunk, nrec); err != nil {
 			return err
 		}
+		remaining -= int64(len(chunk))
+		off += int64(len(chunk))
 	}
 	return nil
 }
 
 // scanBrick performs the Case-2 scan of one brick: read records from the
-// front, block-sized chunks at a time, until one has vmin > iso or the brick
-// is exhausted.
-func (t *Tree) scanBrick(dev blockio.Device, e *IndexEntry, iso float32, recSize int, buf []byte, visit func([]byte) error, st *QueryStats) error {
+// front until one has vmin > iso or the brick is exhausted, and emit each
+// chunk's active prefix as one batch. Reads stay at one disk block per
+// request regardless of the batch size, so the over-read past the stopping
+// metacell is at most one block — the paper's cost model — and the schedule
+// comparison isn't skewed by read granularity.
+func (t *Tree) scanBrick(dev blockio.Device, e *IndexEntry, iso float32, recSize int, buf []byte, emit func([]byte, int) error, st *QueryStats) error {
+	blockRecs := blockio.DefaultBlockSize / recSize
+	if blockRecs < 1 {
+		blockRecs = 1
+	}
 	remaining := int(e.Count)
 	off := e.Offset
 	for remaining > 0 {
 		n := len(buf) / recSize
+		if n > blockRecs {
+			n = blockRecs
+		}
 		if n > remaining {
 			n = remaining
 		}
@@ -112,15 +157,22 @@ func (t *Tree) scanBrick(dev blockio.Device, e *IndexEntry, iso float32, recSize
 		if err := dev.ReadAt(chunk, off); err != nil {
 			return fmt.Errorf("core: scanning brick at %d: %w", e.Offset, err)
 		}
+		active := n
 		for i := 0; i < n; i++ {
-			rec := chunk[i*recSize : (i+1)*recSize]
-			if metacell.VMinOfRecord(t.Layout, rec) > iso {
-				return nil // records are vmin-sorted: the prefix has ended
+			if metacell.VMinOfRecord(t.Layout, chunk[i*recSize:(i+1)*recSize]) > iso {
+				active = i // records are vmin-sorted: the prefix has ended
+				break
 			}
-			st.ActiveMetacells++
-			if err := visit(rec); err != nil {
+		}
+		if active > 0 {
+			st.ActiveMetacells += active
+			st.Batches++
+			if err := emit(chunk[:active*recSize], active); err != nil {
 				return err
 			}
+		}
+		if active < n {
+			return nil
 		}
 		remaining -= n
 		off += int64(n * recSize)
@@ -128,13 +180,13 @@ func (t *Tree) scanBrick(dev blockio.Device, e *IndexEntry, iso float32, recSize
 	return nil
 }
 
-// CountActive returns only the number of active metacells for iso, without
-// touching the data device: it walks the index and, for Case-2 bricks,
-// counts via the same prefix rule the query uses but on a records-only
-// scan. It still performs the Case-2 I/O (the counts are on disk), so its
-// main use is in tests and balance tables where the visitor work is not
-// wanted.
+// CountActive returns the number of active metacells for iso. It is not
+// free: the Case-2 prefix lengths live on disk (each brick must be scanned
+// until the first record with vmin > iso), and the Case-1 walk issues its
+// bulk reads too, so CountActive performs the same block I/O as a full query
+// — only the per-record decode and triangulation work is skipped. Its main
+// use is in tests and balance tables where the visitor work is not wanted.
 func (t *Tree) CountActive(dev blockio.Device, iso float32) (int, error) {
-	st, err := t.Query(dev, iso, func([]byte) error { return nil })
+	st, err := t.QueryBatches(dev, iso, 0, func([]byte, int) error { return nil })
 	return st.ActiveMetacells, err
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestQueryBatchesMatchesQuery checks, across batch sizes and isovalues,
+// that the batch-granular API delivers exactly the record stream of the
+// per-record Query — same bytes, same order, same counts — and that no batch
+// exceeds the requested size.
+func TestQueryBatchesMatchesQuery(t *testing.T) {
+	l := testLayout()
+	cells := synthCells(l, 700, 99)
+	tree, dev := materialize(t, l, cells)
+	recSize := l.RecordSize()
+
+	r := rng.New(5)
+	isos := []float32{0, 40, 128, 254}
+	for i := 0; i < 6; i++ {
+		isos = append(isos, float32(r.Intn(256)))
+	}
+	for _, iso := range isos {
+		var want bytes.Buffer
+		stQ, err := tree.Query(dev, iso, func(rec []byte) error {
+			want.Write(rec)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batchRecs := range []int{0, 1, 3, 11, 256, 100000} {
+			var got bytes.Buffer
+			nrecs := 0
+			stB, err := tree.QueryBatches(dev, iso, batchRecs, func(batch []byte, nrec int) error {
+				if nrec*recSize != len(batch) {
+					t.Fatalf("batch of %d bytes claims %d records", len(batch), nrec)
+				}
+				if batchRecs > 0 && nrec > batchRecs {
+					t.Fatalf("batch of %d records exceeds requested %d", nrec, batchRecs)
+				}
+				nrecs += nrec
+				got.Write(batch)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("iso %v batch %d: record stream differs from Query", iso, batchRecs)
+			}
+			if stB.ActiveMetacells != stQ.ActiveMetacells || nrecs != stQ.ActiveMetacells {
+				t.Errorf("iso %v batch %d: %d/%d active, Query saw %d",
+					iso, batchRecs, stB.ActiveMetacells, nrecs, stQ.ActiveMetacells)
+			}
+			if stB.Batches == 0 && stB.ActiveMetacells > 0 {
+				t.Errorf("iso %v batch %d: active records but no batches", iso, batchRecs)
+			}
+		}
+	}
+}
+
+// TestQueryBatchesBoundedBuffer checks the Case-1 path no longer materializes
+// the whole contiguous read: with a tiny batch size, many batches must be
+// emitted rather than one total-sized buffer.
+func TestQueryBatchesBoundedBuffer(t *testing.T) {
+	l := testLayout()
+	cells := synthCells(l, 700, 99)
+	tree, dev := materialize(t, l, cells)
+
+	// iso at the top of the range forces Case-1 bulk reads along the walk.
+	st, err := tree.QueryBatches(dev, 254, 4, func(batch []byte, nrec int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BulkReads == 0 {
+		t.Fatal("expected Case-1 bulk reads at a high isovalue")
+	}
+	if st.Batches < st.ActiveMetacells/4 {
+		t.Errorf("%d batches for %d active records at batch size 4", st.Batches, st.ActiveMetacells)
+	}
+}

@@ -10,6 +10,15 @@
 // access, renders each node's triangles with a software z-buffer rasterizer,
 // and composites the framebuffers sort-last onto a tiled display.
 //
+// Extraction runs each node as a streaming pipeline: a query producer feeds
+// block-aligned record batches through a bounded channel to the node's
+// marching-cubes workers, overlapping disk I/O with triangulation while
+// staging at most Options.PipelineDepth × Options.BatchRecords records in
+// memory (Options.TwoPhase selects the paper's original
+// retrieve-everything-then-triangulate schedule). Config.CacheBlocks adds an
+// LRU block cache over each node's disk for repeated sweeps such as
+// animation or isovalue scans.
+//
 // Quick start:
 //
 //	vol := repro.GenerateRM(256, 256, 240, 250, 42) // synthetic RM time step
@@ -82,6 +91,12 @@ const (
 	U8  = volume.U8
 	U16 = volume.U16
 	F32 = volume.F32
+)
+
+// Default sizing of the streaming extraction pipeline (see Options).
+const (
+	DefaultBatchRecords  = cluster.DefaultBatchRecords
+	DefaultPipelineDepth = cluster.DefaultPipelineDepth
 )
 
 // GenerateRM produces one time step of the deterministic synthetic
