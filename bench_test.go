@@ -10,12 +10,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
 
 func benchCfg() harness.RMConfig { return harness.DefaultRM() }
@@ -39,7 +41,7 @@ func perfBench(b *testing.B, procs int, label string) {
 	b.Helper()
 	var total int
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.PerfTable(benchCfg(), procs, harness.PerfOptions{})
+		rows, err := harness.PerfTable(context.Background(), benchCfg(), procs, harness.PerfOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +85,7 @@ func BenchmarkTable5EightNodes(b *testing.B) {
 // distribution across four nodes.
 func BenchmarkTable6MetacellBalance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.BalanceTable(benchCfg(), 4, "metacells")
+		rows, err := harness.BalanceTable(context.Background(), benchCfg(), 4, "metacells")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +107,7 @@ func BenchmarkTable6MetacellBalance(b *testing.B) {
 // across four nodes.
 func BenchmarkTable7TriangleBalance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.BalanceTable(benchCfg(), 4, "triangles")
+		rows, err := harness.BalanceTable(context.Background(), benchCfg(), 4, "triangles")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +130,7 @@ func BenchmarkTable8TimeVarying(b *testing.B) {
 		steps = append(steps, s)
 	}
 	for i := 0; i < b.N; i++ {
-		rows, idx, err := harness.Table8(cfg, steps, 70, 4)
+		rows, idx, err := harness.Table8(context.Background(), cfg, steps, 70, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +151,7 @@ var scaling struct {
 
 func scalingPoints() ([]harness.ScalingPoint, error) {
 	scaling.once.Do(func() {
-		scaling.pts, scaling.err = harness.ScalingSeries(benchCfg(), []int{1, 2, 4, 8}, harness.PerfOptions{})
+		scaling.pts, scaling.err = harness.ScalingSeries(context.Background(), benchCfg(), []int{1, 2, 4, 8}, harness.PerfOptions{})
 	})
 	return scaling.pts, scaling.err
 }
@@ -199,7 +201,7 @@ func BenchmarkFigure6Speedup(b *testing.B) {
 // directory.
 func BenchmarkFigure4Render(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Figure4(benchCfg(), 190, 4, 1024, 768, "figure4.ppm")
+		res, err := harness.Figure4(context.Background(), benchCfg(), 190, 4, 1024, 768, "figure4.ppm")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -230,7 +232,7 @@ func BenchmarkAblationIndexStructures(b *testing.B) {
 // BenchmarkAblationDistribution compares data-distribution schemes.
 func BenchmarkAblationDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationDistribution(benchCfg(), 4)
+		rows, err := harness.AblationDistribution(context.Background(), benchCfg(), 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,7 +276,7 @@ func BenchmarkAblationMetacellSize(b *testing.B) {
 // independent per-node queries.
 func BenchmarkAblationHostDispatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationHostDispatch(benchCfg(), 110, []int{2, 4, 8})
+		rows, err := harness.AblationHostDispatch(context.Background(), benchCfg(), 110, []int{2, 4, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,7 +291,7 @@ func BenchmarkAblationHostDispatch(b *testing.B) {
 // schedules across the isovalue sweep.
 func BenchmarkAblationSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationSchedule(benchCfg(), 4)
+		rows, err := harness.AblationSchedule(context.Background(), benchCfg(), 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +314,7 @@ func BenchmarkQuerySingleIsovalue(b *testing.B) {
 	b.ResetTimer()
 	var tris int
 	for i := 0; i < b.N; i++ {
-		res, err := eng.Extract(110, Options{})
+		res, err := eng.Extract(context.Background(), 110, Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -332,7 +334,7 @@ func extractScheduleBench(b *testing.B, opts Options) {
 	b.ResetTimer()
 	var peak int64
 	for i := 0; i < b.N; i++ {
-		res, err := eng.Extract(110, opts)
+		res, err := eng.Extract(context.Background(), 110, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -364,6 +366,43 @@ func BenchmarkAblationQueryStructures(b *testing.B) {
 		if i == 0 {
 			fmt.Println("\n=== Ablation: query acceleration structures ===")
 			harness.PrintQueryStructuresAblation(os.Stdout, 110, rows)
+		}
+	}
+}
+
+// BenchmarkServingTable regenerates the serving-layer experiment: Zipf
+// traffic from concurrent clients through coalescing + mesh cache vs direct
+// uncached extraction.
+func BenchmarkServingTable(b *testing.B) {
+	w := harness.ServingWorkload{ReqPerClient: 8}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ServingTable(context.Background(), harness.Small(), 4, []int{8, 32}, w, serve.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("\n=== Serving layer: throughput vs clients (4 nodes) ===")
+			harness.PrintServingTable(os.Stdout, 4, w, rows)
+		}
+		b.ReportMetric(rows[len(rows)-1].Speedup, "speedup")
+	}
+}
+
+// BenchmarkServeQueryHot measures the server's hot path: a cache-resident
+// surface served with no backend work.
+func BenchmarkServeQueryHot(b *testing.B) {
+	eng, err := harness.Engine(harness.Small(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.Config{})
+	if _, err := srv.Query(context.Background(), 0, 110); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Query(context.Background(), 0, 110); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

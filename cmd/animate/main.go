@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -51,6 +53,9 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	gen := volume.TimeVaryingRM(*nx, *ny, *nz, *seed)
 	var steps []int
 	for s := *from; s <= *to; s += *strd {
@@ -66,8 +71,11 @@ func main() {
 	var cam *render.Camera
 	t0 := time.Now()
 	for i, s := range steps {
-		res, err := tv.Extract(s, float32(*iso), cluster.Options{KeepMeshes: true})
+		res, err := tv.Extract(ctx, s, float32(*iso), cluster.Options{KeepMeshes: true})
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Fatal("interrupted")
+			}
 			log.Fatal(err)
 		}
 		bounds := geom.EmptyAABB()

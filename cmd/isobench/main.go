@@ -11,25 +11,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isobench: ")
 	var (
-		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|all")
+		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|all")
 		size  = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
 		out   = flag.String("out", "figure4.ppm", "output image path for fig4")
 		cache = flag.Int("cache", 0, "LRU cache blocks per node disk (0 = cold-cache paper model); warms isovalue sweeps")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight extraction sweep instead of killing the
+	// process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := harness.DefaultRM()
 	if *size == "small" {
@@ -52,21 +60,21 @@ func main() {
 			continue
 		}
 		ran = true
-		rows, err := harness.PerfTable(cfg, procs, harness.PerfOptions{})
+		rows, err := harness.PerfTable(ctx, cfg, procs, harness.PerfOptions{})
 		check(err)
 		section(fmt.Sprintf("%s: performance on %d node(s)", strings.ToUpper(name[:1])+name[1:], procs))
 		harness.PrintPerfTable(os.Stdout, procs, rows)
 	}
 	if want("table6") {
 		ran = true
-		rows, err := harness.BalanceTable(cfg, 4, "metacells")
+		rows, err := harness.BalanceTable(ctx, cfg, 4, "metacells")
 		check(err)
 		section("Table 6: active metacell distribution (4 nodes)")
 		harness.PrintBalanceTable(os.Stdout, "metacells", rows)
 	}
 	if want("table7") {
 		ran = true
-		rows, err := harness.BalanceTable(cfg, 4, "triangles")
+		rows, err := harness.BalanceTable(ctx, cfg, 4, "triangles")
 		check(err)
 		section("Table 7: triangle distribution (4 nodes)")
 		harness.PrintBalanceTable(os.Stdout, "triangles", rows)
@@ -79,14 +87,14 @@ func main() {
 		for s := 180; s <= 195; s++ {
 			steps = append(steps, s)
 		}
-		rows, idx, err := harness.Table8(t8, steps, 70, 4)
+		rows, idx, err := harness.Table8(ctx, t8, steps, 70, 4)
 		check(err)
 		section("Table 8: time-varying browsing (iso 70, 4 nodes)")
 		harness.PrintTable8(os.Stdout, 70, 4, rows, idx)
 	}
 	if want("fig5") || want("fig6") {
 		ran = true
-		pts, err := harness.ScalingSeries(cfg, []int{1, 2, 4, 8}, harness.PerfOptions{})
+		pts, err := harness.ScalingSeries(ctx, cfg, []int{1, 2, 4, 8}, harness.PerfOptions{})
 		check(err)
 		if want("fig5") {
 			section("Figure 5: overall time vs isovalue")
@@ -99,7 +107,7 @@ func main() {
 	}
 	if want("fig4") {
 		ran = true
-		res, err := harness.Figure4(cfg, 190, 4, 1024, 768, *out)
+		res, err := harness.Figure4(ctx, cfg, 190, 4, 1024, 768, *out)
 		check(err)
 		section("Figure 4: isosurface render (iso 190)")
 		fmt.Printf("triangles: %d, covered pixels: %d, image: %s\n", res.Triangles, res.CoveredPixels, *out)
@@ -111,7 +119,7 @@ func main() {
 		section("Ablation: index structures")
 		harness.PrintIndexAblation(os.Stdout, ir)
 
-		dr, err := harness.AblationDistribution(cfg, 4)
+		dr, err := harness.AblationDistribution(ctx, cfg, 4)
 		check(err)
 		section("Ablation: data distribution (4 nodes)")
 		harness.PrintDistributionAblation(os.Stdout, 4, dr)
@@ -126,7 +134,7 @@ func main() {
 		section("Ablation: metacell size")
 		harness.PrintMetacellSizeAblation(os.Stdout, 110, mr)
 
-		hr, err := harness.AblationHostDispatch(cfg, 110, []int{2, 4, 8})
+		hr, err := harness.AblationHostDispatch(ctx, cfg, 110, []int{2, 4, 8})
 		check(err)
 		section("Ablation: host dispatch vs independent nodes")
 		harness.PrintDispatchAblation(os.Stdout, 110, hr)
@@ -138,10 +146,18 @@ func main() {
 	}
 	if want("ablations") || *exp == "schedule" {
 		ran = true
-		sr, err := harness.AblationSchedule(cfg, 4)
+		sr, err := harness.AblationSchedule(ctx, cfg, 4)
 		check(err)
 		section("Ablation: two-phase vs streaming extraction (4 nodes)")
 		harness.PrintScheduleAblation(os.Stdout, 4, sr)
+	}
+	if want("serving") {
+		ran = true
+		w := harness.ServingWorkload{}
+		rows, err := harness.ServingTable(ctx, cfg, 4, []int{1, 8, 32}, w, serve.Config{})
+		check(err)
+		section("Serving layer: throughput vs clients (4 nodes)")
+		harness.PrintServingTable(os.Stdout, 4, w, rows)
 	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)

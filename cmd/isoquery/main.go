@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 	"time"
 
@@ -34,13 +36,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	eng, err := cluster.Open(*data, 0, blockio.DiskModel{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
 
-	res, err := eng.Extract(float32(*iso), cluster.Options{KeepMeshes: *mesh != ""})
+	res, err := eng.Extract(ctx, float32(*iso), cluster.Options{KeepMeshes: *mesh != ""})
 	if err != nil {
 		log.Fatal(err)
 	}

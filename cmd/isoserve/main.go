@@ -1,0 +1,307 @@
+// Command isoserve load-tests the isosurface query service: it preprocesses
+// a synthetic RM time step, stands up a serve.Server in front of it, and
+// drives it with a population of synthetic clients whose isovalue popularity
+// follows a Zipf distribution — the traffic shape of a public query service,
+// where a few surfaces are requested constantly and a long tail rarely.
+//
+// Modes:
+//
+//	isoserve -size small -clients 32 -requests 32            # closed loop
+//	isoserve -size small -clients 32 -qps 200 -duration 10s  # open loop
+//	isoserve -size small -clients 32 -direct                 # uncached baseline
+//	isoserve -size small -clients 32 -compare                # served vs direct table
+//
+// The closed loop reports throughput and latency percentiles plus the
+// server's hit/coalesce/eviction counters; the open loop additionally sheds
+// load (ErrSaturated) once the admission queue fills. Ctrl-C cancels the run
+// gracefully through every in-flight extraction.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("isoserve: ")
+	var (
+		size    = flag.String("size", "small", "full (256×256×240) or small (96×96×90)")
+		procs   = flag.Int("procs", 4, "cluster nodes")
+		threads = flag.Int("threads", 1, "triangulation threads per node")
+
+		clients  = flag.Int("clients", 32, "concurrent synthetic clients")
+		requests = flag.Int("requests", 32, "closed-loop requests per client")
+		qps      = flag.Float64("qps", 0, "open-loop target request rate (0 = closed loop)")
+		duration = flag.Duration("duration", 10*time.Second, "open-loop run length")
+
+		zipfS  = flag.Float64("zipf", 1.1, "Zipf skew of isovalue popularity (>1)")
+		levels = flag.Int("levels", 64, "distinct isovalue levels")
+		isoMin = flag.Float64("isomin", 10, "lowest isovalue level")
+		isoMax = flag.Float64("isomax", 210, "highest isovalue level")
+		seed   = flag.Int64("seed", 42, "workload seed")
+
+		maxInFlight = flag.Int("max-inflight", 0, "extractions allowed concurrently (0 = serve default)")
+		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = clients, so the closed loop is never shed)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "mesh cache budget (0 = serve default 256 MiB, <0 disables)")
+		quantum     = flag.Float64("quantum", 1, "isovalue quantization of the coalescing/cache key")
+
+		direct  = flag.Bool("direct", false, "bypass the server: every request is a raw Engine.Extract")
+		compare = flag.Bool("compare", false, "closed-loop served-vs-direct comparison table")
+	)
+	flag.Parse()
+	if *zipfS <= 1 {
+		log.Fatalf("-zipf must be > 1 (Zipf skew), got %v", *zipfS)
+	}
+	if *levels < 2 {
+		log.Fatalf("-levels must be ≥ 2, got %d", *levels)
+	}
+	if *clients < 1 {
+		log.Fatalf("-clients must be ≥ 1, got %d", *clients)
+	}
+	if *requests < 1 {
+		log.Fatalf("-requests must be ≥ 1, got %d", *requests)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := harness.DefaultRM()
+	if *size == "small" {
+		cfg = harness.Small()
+	}
+	w := harness.ServingWorkload{
+		ReqPerClient: *requests,
+		Levels:       *levels,
+		ZipfS:        *zipfS,
+		IsoMin:       float32(*isoMin),
+		IsoMax:       float32(*isoMax),
+		Seed:         *seed,
+	}
+	scfg := serve.Config{
+		MaxInFlight: *maxInFlight,
+		QueueDepth:  *queueDepth,
+		CacheBytes:  *cacheBytes,
+		IsoQuantum:  float32(*quantum),
+	}
+	if scfg.QueueDepth == 0 {
+		scfg.QueueDepth = *clients
+	}
+
+	if *compare {
+		// ServingTable preprocesses (and memoizes) its own engine; -threads
+		// applies only to the direct/served modes below.
+		rows, err := harness.ServingTable(ctx, cfg, *procs, []int{*clients}, w, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.PrintServingTable(os.Stdout, *procs, w, rows)
+		r := rows[0]
+		fmt.Printf("\ncoalescing + mesh cache: %.1f q/s vs %.1f q/s direct → %.1f× throughput\n",
+			r.ServedQPS, r.DirectQPS, r.Speedup)
+		return
+	}
+
+	log.Printf("preprocessing %d×%d×%d on %d nodes…", cfg.NX, cfg.NY, cfg.NZ, *procs)
+	eng, err := cluster.Build(harness.Volume(cfg), cluster.Config{Procs: *procs, ThreadsPerNode: *threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var query func(ctx context.Context, iso float32) error
+	label := "served"
+	if *direct {
+		label = "direct (no server)"
+		query = func(ctx context.Context, iso float32) error {
+			_, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
+			return err
+		}
+	} else {
+		srv := serve.NewServer(eng, scfg)
+		defer func() { printStats(srv.Stats()) }()
+		query = func(ctx context.Context, iso float32) error {
+			_, err := srv.Query(ctx, 0, iso)
+			return err
+		}
+	}
+
+	var res runResult
+	if *qps > 0 {
+		log.Printf("open loop: %d clients, %.0f q/s target, %v, Zipf(%.2g) over %d levels [%s]",
+			*clients, *qps, *duration, *zipfS, *levels, label)
+		res = openLoop(ctx, *clients, *qps, *duration, w, query)
+	} else {
+		log.Printf("closed loop: %d clients × %d requests, Zipf(%.2g) over %d levels [%s]",
+			*clients, *requests, *zipfS, *levels, label)
+		res = closedLoop(ctx, *clients, w, query)
+	}
+	res.print()
+	if ctx.Err() != nil {
+		log.Print("interrupted — partial results above")
+	}
+}
+
+// runResult aggregates one load run.
+type runResult struct {
+	wall                       time.Duration
+	served, rejected, canceled int64
+	failed                     int64
+	lats                       []time.Duration // served requests only
+}
+
+type recorder struct {
+	mu  sync.Mutex
+	res runResult
+}
+
+func (r *recorder) record(lat time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		r.res.served++
+		r.res.lats = append(r.res.lats, lat)
+	case errors.Is(err, serve.ErrSaturated):
+		r.res.rejected++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.res.canceled++
+	default:
+		r.res.failed++
+	}
+}
+
+// closedLoop runs every client flat out: issue, wait, issue again.
+func closedLoop(ctx context.Context, clients int, w harness.ServingWorkload, query func(context.Context, float32) error) runResult {
+	rec := &recorder{}
+	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(w.Seed + int64(k)))
+			zipf := rand.NewZipf(rnd, w.ZipfS, 1, uint64(w.Levels-1))
+			for i := 0; i < w.ReqPerClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				iso := w.IsoOfLevel(perm, zipf.Uint64())
+				t0 := time.Now()
+				err := query(ctx, iso)
+				rec.record(time.Since(t0), err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	rec.res.wall = time.Since(start)
+	return rec.res
+}
+
+// openLoop dispatches requests at a fixed rate regardless of completion —
+// the arrival process of independent clients. Latency is measured from the
+// intended dispatch time, so queueing delay is included; if every client is
+// busy when a tick arrives, the tick is dropped and counted (the generator
+// itself saturated).
+func openLoop(ctx context.Context, clients int, qps float64, d time.Duration, w harness.ServingWorkload, query func(context.Context, float32) error) runResult {
+	ticks := make(chan time.Time, 4*clients)
+	var droppedTicks atomic.Int64
+	go func() {
+		defer close(ticks)
+		interval := time.Duration(float64(time.Second) / qps)
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		deadline := time.Now().Add(d)
+		for {
+			select {
+			case now := <-tk.C:
+				if now.After(deadline) {
+					return
+				}
+				select {
+				case ticks <- now:
+				default:
+					droppedTicks.Add(1)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	rec := &recorder{}
+	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(w.Seed + int64(k)))
+			zipf := rand.NewZipf(rnd, w.ZipfS, 1, uint64(w.Levels-1))
+			for dispatched := range ticks {
+				iso := w.IsoOfLevel(perm, zipf.Uint64())
+				err := query(ctx, iso)
+				rec.record(time.Since(dispatched), err)
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	rec.res.wall = time.Since(start)
+	if n := droppedTicks.Load(); n > 0 {
+		log.Printf("load generator saturated: dropped %d dispatch ticks", n)
+	}
+	return rec.res
+}
+
+func (r runResult) print() {
+	total := r.served + r.rejected + r.canceled + r.failed
+	fmt.Printf("\n%d requests in %v: %d served (%.1f q/s), %d shed, %d canceled, %d failed\n",
+		total, r.wall.Round(time.Millisecond), r.served,
+		float64(r.served)/r.wall.Seconds(), r.rejected, r.canceled, r.failed)
+	if len(r.lats) == 0 {
+		return
+	}
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	pct := func(p int) time.Duration { return r.lats[min(len(r.lats)*p/100, len(r.lats)-1)] }
+	fmt.Printf("latency p50 %v · p90 %v · p99 %v · max %v\n",
+		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond),
+		pct(99).Round(time.Microsecond), r.lats[len(r.lats)-1].Round(time.Microsecond))
+}
+
+func printStats(st serve.Stats) {
+	fmt.Printf("\nserver: %d requests · %d cache hits · %d coalesced · %d extractions · %d shed · %d canceled\n",
+		st.Requests, st.CacheHits, st.Coalesced, st.Extractions, st.Rejected, st.Canceled)
+	fmt.Printf("        hit rate %.0f%% · cache %d meshes / %s · %d evictions\n",
+		100*st.HitRate(), st.CachedMeshes, fmtBytes(st.CachedBytes), st.Evictions)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

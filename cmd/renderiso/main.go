@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -46,6 +49,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var eng *cluster.Engine
 	var err error
 	if *data != "" {
@@ -59,7 +65,7 @@ func main() {
 	}
 	defer eng.Close()
 
-	res, err := eng.Extract(float32(*iso), cluster.Options{KeepMeshes: true})
+	res, err := eng.Extract(ctx, float32(*iso), cluster.Options{KeepMeshes: true})
 	if err != nil {
 		log.Fatal(err)
 	}

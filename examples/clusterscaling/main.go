@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,7 +25,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := eng.Extract(iso, repro.Options{})
+		res, err := eng.Extract(context.Background(), iso, repro.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

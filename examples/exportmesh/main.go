@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Extract(110, repro.Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), 110, repro.Options{KeepMeshes: true})
 	if err != nil {
 		log.Fatal(err)
 	}

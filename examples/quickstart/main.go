@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +32,7 @@ func main() {
 	// 3. Extract an isosurface. Every node queries its own index and disk in
 	// parallel; KeepMeshes retains the per-node triangles for rendering.
 	const iso = 190
-	res, err := eng.Extract(iso, repro.Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), iso, repro.Options{KeepMeshes: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Extract(150, repro.Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), 150, repro.Options{KeepMeshes: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,7 +33,7 @@ func main() {
 	fmt.Printf("\n%-6s %12s %12s %12s\n", "step", "active MC", "triangles", "time")
 	for _, s := range steps {
 		t0 := time.Now()
-		res, err := tv.Extract(s, iso, repro.Options{})
+		res, err := tv.Extract(context.Background(), s, iso, repro.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

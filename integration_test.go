@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -47,7 +48,7 @@ func TestFullWorkflow(t *testing.T) {
 	}
 	defer reopened.Close()
 	const iso = 120
-	res, err := reopened.Extract(iso, Options{KeepMeshes: true})
+	res, err := reopened.Extract(context.Background(), iso, Options{KeepMeshes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestDeterministicExtraction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := eng.Extract(128, Options{})
+		res, err := eng.Extract(context.Background(), 128, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestMergeMeshesRequiresKeep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Extract(128, Options{})
+	res, err := eng.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

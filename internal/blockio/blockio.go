@@ -42,6 +42,21 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// Sub returns the element-wise difference s - o. Snapshotting a device's
+// counters before an operation and subtracting afterwards attributes the
+// interval's I/O without ResetStats, so independent operations on a shared
+// device do not clobber each other's accounting.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:      s.Reads - o.Reads,
+		BytesRead:  s.BytesRead - o.BytesRead,
+		BlocksRead: s.BlocksRead - o.BlocksRead,
+		Seeks:      s.Seeks - o.Seeks,
+		CacheHits:  s.CacheHits - o.CacheHits,
+		CacheMiss:  s.CacheMiss - o.CacheMiss,
+	}
+}
+
 // DiskModel converts I/O counters into modeled device time.
 type DiskModel struct {
 	BlockSize int           // bytes per block

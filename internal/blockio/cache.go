@@ -63,6 +63,13 @@ func (c *Cache) Size() int64 { return c.inner.Size() }
 // out with no inner I/O, and each maximal run of missing blocks is fetched
 // from the inner device with a single block-aligned read before being
 // inserted (evicting least recently used blocks beyond capacity).
+//
+// The lock is dropped while the inner device is read, so a slow miss never
+// serializes other readers' hits — the property the concurrent serving layer
+// relies on. Two readers missing the same block may both fetch it (each fetch
+// counts as a miss, mirroring what the device actually did); the insert is
+// idempotent, and since devices are read-only both fetches carry the same
+// bytes.
 func (c *Cache) ReadAt(p []byte, off int64) error {
 	size := c.inner.Size()
 	if off < 0 || off+int64(len(p)) > size {
@@ -76,7 +83,6 @@ func (c *Cache) ReadAt(p []byte, off int64) error {
 	last := (off + int64(len(p)) - 1) / bs
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for b := first; b <= last; {
 		if el, ok := c.blocks[b]; ok {
 			c.lru.MoveToFront(el)
@@ -98,8 +104,13 @@ func (c *Cache) ReadAt(p []byte, off int64) error {
 		if runOff+runLen > size {
 			runLen = size - runOff
 		}
+		c.misses += runEnd - b + 1
+		c.mu.Unlock()
 		data := make([]byte, runLen)
-		if err := c.inner.ReadAt(data, runOff); err != nil {
+		err := c.inner.ReadAt(data, runOff)
+		c.mu.Lock()
+		if err != nil {
+			c.mu.Unlock()
 			return err
 		}
 		for i := b; i <= runEnd; i++ {
@@ -112,9 +123,9 @@ func (c *Cache) ReadAt(p []byte, off int64) error {
 			c.insert(cb)
 			c.copyOut(p, off, cb)
 		}
-		c.misses += runEnd - b + 1
 		b = runEnd + 1
 	}
+	c.mu.Unlock()
 	return nil
 }
 

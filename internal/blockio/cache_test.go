@@ -2,7 +2,9 @@ package blockio
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -116,6 +118,68 @@ func TestCachePartialFinalBlock(t *testing.T) {
 	}
 	if st := c.Stats(); st.CacheMiss != 2 {
 		t.Errorf("misses = %d, want 2", st.CacheMiss)
+	}
+}
+
+// TestCacheConcurrentStress hammers one Cache from many goroutines — random
+// overlapping reads, plus concurrent Stats/Resident/ResetStats — and checks
+// every read returns the right bytes and the counters stay sane. The serving
+// layer issues exactly this pattern (many in-flight extractions sharing each
+// node's cache); run under -race in CI.
+func TestCacheConcurrentStress(t *testing.T) {
+	const (
+		workers  = 8
+		reads    = 400
+		size     = 64*1024 + 37 // partial final block included
+		capacity = 32           // far below the 128+1 blocks: constant eviction
+	)
+	c, _, data := cacheFixture(t, size, 512, capacity)
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(100 + w)))
+			buf := make([]byte, 4096)
+			for i := 0; i < reads; i++ {
+				off := rnd.Intn(size)
+				n := rnd.Intn(min(size-off, len(buf)))
+				if err := c.ReadAt(buf[:n], int64(off)); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(buf[:n], data[off:off+n]) {
+					errs[w] = fmt.Errorf("worker %d read [%d,%d): wrong bytes", w, off, off+n)
+					return
+				}
+				if i%64 == 0 {
+					_ = c.Stats()
+					_ = c.Resident()
+				}
+			}
+		}(w)
+	}
+	// Concurrent counter resets must not corrupt resident blocks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.ResetStats()
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Resident(); n > capacity {
+		t.Errorf("resident %d blocks exceeds capacity %d", n, capacity)
+	}
+	if st := c.Stats(); st.CacheHits < 0 || st.CacheMiss < 0 {
+		t.Errorf("negative counters after concurrent resets: %+v", st)
 	}
 }
 

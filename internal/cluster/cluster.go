@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -315,7 +316,21 @@ func (o Options) applyDefaults() Options {
 // marching-cubes workers, overlapping disk I/O with triangulation under a
 // fixed memory bound; with Options.TwoPhase, the paper's original
 // retrieve-everything-then-triangulate schedule.
-func (e *Engine) Extract(iso float32, opts Options) (*Result, error) {
+//
+// Cancelling ctx aborts the extraction mid-pipeline on every node — the
+// producers stop issuing disk reads, the workers drain, and Extract returns
+// ctx.Err() with no goroutines left behind.
+//
+// Extract is safe to call concurrently (the serving layer does): devices are
+// shared but internally synchronized, and per-extraction I/O accounting is
+// taken as counter deltas rather than resets. Concurrent extractions
+// interleave their block accesses on the shared devices, so each NodeResult's
+// IOStats then over-attributes the other extractions' I/O to itself;
+// single-extraction runs — every paper experiment — are exact.
+func (e *Engine) Extract(ctx context.Context, iso float32, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.applyDefaults()
 	res := &Result{Iso: iso, PerNode: make([]NodeResult, e.Procs)}
 	errs := make([]error, e.Procs)
@@ -325,11 +340,14 @@ func (e *Engine) Extract(iso float32, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			res.PerNode[node], errs[node] = e.extractNode(node, iso, opts)
+			res.PerNode[node], errs[node] = e.extractNode(ctx, node, iso, opts)
 		}(i)
 	}
 	wg.Wait()
 	res.Wall = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -344,29 +362,33 @@ func (e *Engine) Extract(iso float32, opts Options) (*Result, error) {
 
 // extractNode runs one node's share of an extraction with the schedule the
 // options select.
-func (e *Engine) extractNode(node int, iso float32, opts Options) (NodeResult, error) {
+func (e *Engine) extractNode(ctx context.Context, node int, iso float32, opts Options) (NodeResult, error) {
 	if opts.TwoPhase {
-		return e.extractNodeTwoPhase(node, iso, opts)
+		return e.extractNodeTwoPhase(ctx, node, iso, opts)
 	}
-	return e.extractNodeStreaming(node, iso, opts)
+	return e.extractNodeStreaming(ctx, node, iso, opts)
 }
 
 // extractNodeTwoPhase is the legacy per-node schedule: phase 1 retrieves all
 // active metacell records (I/O), phase 2 triangulates them (CPU). Its staging
 // buffer grows with the isosurface, which is what the streaming pipeline
 // exists to avoid; it is kept as the ablation baseline.
-func (e *Engine) extractNodeTwoPhase(node int, iso float32, opts Options) (NodeResult, error) {
+func (e *Engine) extractNodeTwoPhase(ctx context.Context, node int, iso float32, opts Options) (NodeResult, error) {
 	nr := NodeResult{Node: node}
 	dev := e.devs[node]
-	dev.ResetStats()
+	ioBefore := dev.Stats()
 	recSize := e.Layout.RecordSize()
 
 	// Phase 1: AMC retrieval. Records are copied out of the query's reused
 	// buffer; the paper likewise stages active metacells in memory before
-	// triangulating.
+	// triangulating. The visitor polls ctx so a cancelled extraction stops
+	// issuing disk reads within one record.
 	t0 := time.Now()
 	var records []byte
 	st, err := e.trees[node].Query(dev, iso, func(rec []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		records = append(records, rec...)
 		return nil
 	})
@@ -375,7 +397,7 @@ func (e *Engine) extractNodeTwoPhase(node int, iso float32, opts Options) (NodeR
 	}
 	nr.AMCWall = time.Since(t0)
 	nr.ActiveMetacells = st.ActiveMetacells
-	nr.IOStats = dev.Stats()
+	nr.IOStats = dev.Stats().Sub(ioBefore)
 	nr.IOModelTime = e.Disk.Time(nr.IOStats)
 
 	// Phase 2: triangulation, split across the node's CPUs (the paper's
@@ -398,6 +420,10 @@ func (e *Engine) extractNodeTwoPhase(node int, iso float32, opts Options) (NodeR
 			var m metacell.Meta
 			lo, hi := t*numRecs/threads, (t+1)*numRecs/threads
 			for r := lo; r < hi; r++ {
+				if r%64 == 0 && ctx.Err() != nil {
+					errs[t] = ctx.Err()
+					return
+				}
 				rec := records[r*recSize : (r+1)*recSize]
 				if err := metacell.DecodeRecordInto(e.Layout, rec, &m); err != nil {
 					errs[t] = fmt.Errorf("cluster: node %d decode: %w", node, err)
@@ -452,12 +478,12 @@ func BuildTimeVarying(gen func(step int) *volume.Grid, steps []int, cfg Config) 
 }
 
 // Extract runs an isosurface query against one time step.
-func (tv *TimeVaryingEngine) Extract(step int, iso float32, opts Options) (*Result, error) {
+func (tv *TimeVaryingEngine) Extract(ctx context.Context, step int, iso float32, opts Options) (*Result, error) {
 	eng, ok := tv.Steps[step]
 	if !ok {
 		return nil, fmt.Errorf("cluster: time step %d not indexed", step)
 	}
-	return eng.Extract(iso, opts)
+	return eng.Extract(ctx, iso, opts)
 }
 
 // StepsIndexed returns the indexed step numbers in build order.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,7 +44,7 @@ func TestExtractMatchesReferenceAcrossProcs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := e.Extract(iso, Options{})
+			res, err := e.Extract(context.Background(), iso, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,7 +60,7 @@ func TestExtractTotalsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Extract(128, Options{})
+	res, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestLoadBalanceAcrossIsovalues(t *testing.T) {
 		t.Fatal(err)
 	}
 	for iso := float32(10); iso <= 210; iso += 40 {
-		res, err := e.Extract(iso, Options{})
+		res, err := e.Extract(context.Background(), iso, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestKeepMeshes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Extract(128, Options{KeepMeshes: true})
+	res, err := e.Extract(context.Background(), 128, Options{KeepMeshes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestKeepMeshes(t *testing.T) {
 			t.Errorf("node %d mesh len %d != triangles %d", n.Node, n.Mesh.Len(), n.Triangles)
 		}
 	}
-	res2, err := e.Extract(128, Options{})
+	res2, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFileBackedNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Extract(128, Options{})
+	res, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestIOAccountingPerNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Extract(128, Options{})
+	res, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestTimeVarying(t *testing.T) {
 		t.Errorf("index steps = %d", tv.Index.NumSteps())
 	}
 	for _, s := range steps {
-		res, err := tv.Extract(s, 70, Options{})
+		res, err := tv.Extract(context.Background(), s, 70, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestTimeVarying(t *testing.T) {
 			t.Errorf("step %d: %d triangles, reference %d", s, res.Triangles, ref.Len())
 		}
 	}
-	if _, err := tv.Extract(999, 70, Options{}); err == nil {
+	if _, err := tv.Extract(context.Background(), 999, 70, Options{}); err == nil {
 		t.Error("unindexed step should fail")
 	}
 }
@@ -249,7 +250,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	if err := e.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	want, err := e.Extract(128, Options{})
+	want, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	if re.Procs != 3 || re.TotalMetacells != e.TotalMetacells || re.Layout != e.Layout {
 		t.Fatal("reopened engine metadata mismatch")
 	}
-	got, err := re.Extract(128, Options{})
+	got, err := re.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestExtractSurvivesUntilFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Extract(128, Options{}); err == nil {
+	if _, err := e.Extract(context.Background(), 128, Options{}); err == nil {
 		t.Error("extraction with a failing disk should return an error")
 	}
 }
@@ -312,7 +313,7 @@ func TestWrapDeviceObservesReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Extract(128, Options{}); err != nil {
+	if _, err := e.Extract(context.Background(), 128, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if reads[0] == 0 || reads[1] == 0 {
@@ -347,11 +348,11 @@ func TestBuildFromVolumeFile(t *testing.T) {
 	if streamed.TotalMetacells != direct.TotalMetacells || streamed.DataBytes != direct.DataBytes {
 		t.Fatal("streamed preprocessing differs from in-memory")
 	}
-	a, err := streamed.Extract(128, Options{})
+	a, err := streamed.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := direct.Extract(128, Options{})
+	b, err := direct.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestThreadsPerNodeSameResult(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Extract(128, Options{KeepMeshes: true})
+		res, err := e.Extract(context.Background(), 128, Options{KeepMeshes: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -394,7 +395,7 @@ func TestThreadsMoreThanRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Extract(128, Options{})
+	res, err := e.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,7 +440,7 @@ func TestTimeVaryingSaveOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := tv.Extract(200, 70, Options{})
+	want, err := tv.Extract(context.Background(), 200, 70, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +459,7 @@ func TestTimeVaryingSaveOpen(t *testing.T) {
 	if got := re.StepsIndexed(); len(got) != 2 || got[1] != 200 {
 		t.Fatalf("StepsIndexed = %v", got)
 	}
-	got, err := re.Extract(200, 70, Options{})
+	got, err := re.Extract(context.Background(), 200, 70, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

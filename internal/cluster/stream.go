@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -43,10 +44,14 @@ type batchOutput struct {
 // Peak staging memory is PipelineDepth×BatchRecords×recordSize bytes — a
 // constant chosen up front — where the two-phase schedule stages all active
 // metacell bytes, which grow with the isosurface.
-func (e *Engine) extractNodeStreaming(node int, iso float32, opts Options) (NodeResult, error) {
+//
+// Cancelling ctx reuses the pipeline's abort path: a watcher trips the same
+// done channel a worker failure does, the producer stops within one batch,
+// and the workers drain the in-flight batches and exit.
+func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32, opts Options) (NodeResult, error) {
 	nr := NodeResult{Node: node}
 	dev := e.devs[node]
-	dev.ResetStats()
+	ioBefore := dev.Stats()
 	recSize := e.Layout.RecordSize()
 	depth := opts.PipelineDepth
 	threads := e.Threads
@@ -59,9 +64,13 @@ func (e *Engine) extractNodeStreaming(node int, iso float32, opts Options) (Node
 	for i := 0; i < depth; i++ {
 		free <- make([]byte, opts.BatchRecords*recSize)
 	}
-	done := make(chan struct{}) // closed on the first worker failure
+	done := make(chan struct{}) // closed on the first worker failure or ctx cancel
 	var closeDone sync.Once
 	abort := func() { closeDone.Do(func() { close(done) }) }
+
+	// Cancellation folds into the pipeline's own abort channel.
+	stopWatch := context.AfterFunc(ctx, abort)
+	defer stopWatch()
 
 	var buffered, peakBuffered atomic.Int64
 
@@ -165,6 +174,9 @@ func (e *Engine) extractNodeStreaming(node int, iso float32, opts Options) (Node
 	wgWork.Wait()
 	wall := time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nr, err
+	}
 	for _, err := range werrs {
 		if err != nil {
 			return nr, err
@@ -183,7 +195,7 @@ func (e *Engine) extractNodeStreaming(node int, iso float32, opts Options) (Node
 		}
 	}
 	nr.PipelineWall = wall
-	nr.IOStats = dev.Stats()
+	nr.IOStats = dev.Stats().Sub(ioBefore)
 	nr.IOModelTime = e.Disk.Time(nr.IOStats)
 	nr.PeakBufferedBytes = peakBuffered.Load()
 	nr.ProducerStall = producerStall

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,11 +35,11 @@ func TestStreamingMatchesTwoPhaseProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		two, err := e.Extract(iso, Options{KeepMeshes: true, TwoPhase: true})
+		two, err := e.Extract(context.Background(), iso, Options{KeepMeshes: true, TwoPhase: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		str, err := e.Extract(iso, opts)
+		str, err := e.Extract(context.Background(), iso, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +72,7 @@ func TestStreamingPeakBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{BatchRecords: 8, PipelineDepth: 2}
-	res, err := e.Extract(128, opts)
+	res, err := e.Extract(context.Background(), 128, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,15 +108,15 @@ func TestCacheBlocksWarmSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := plain.Extract(128, Options{})
+	want, err := plain.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := cached.Extract(128, Options{})
+	cold, err := cached.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := cached.Extract(128, Options{})
+	warm, err := cached.Extract(context.Background(), 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +161,7 @@ func TestStreamingFaultAbortsWithoutLeaks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 10; trial++ {
-		_, err := e.Extract(128, Options{BatchRecords: 4, PipelineDepth: 2})
+		_, err := e.Extract(context.Background(), 128, Options{BatchRecords: 4, PipelineDepth: 2})
 		if err == nil {
 			t.Fatal("extraction with a failing disk should return an error")
 		}
@@ -176,4 +179,89 @@ func TestStreamingFaultAbortsWithoutLeaks(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestExtractCancellation checks the context path end to end: an
+// already-cancelled context fails fast, and cancelling mid-extraction aborts
+// the pipeline on every node with ctx's error and no leaked goroutines.
+func TestExtractCancellation(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2, ThreadsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Extract(pre, 128, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled extract returned %v, want context.Canceled", err)
+	}
+
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		// Slow the producer's batches down so cancellation lands mid-stream.
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(trial) * 200 * time.Microsecond)
+			cancel()
+		}()
+		res, err := e.Extract(ctx, 128, Options{BatchRecords: 4, PipelineDepth: 2})
+		if err == nil {
+			if res == nil || res.Triangles == 0 {
+				t.Fatal("uncancelled extraction returned an empty result")
+			}
+			continue // cancel landed after completion; fine
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: error %v does not wrap context.Canceled", trial, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestExtractConcurrentSameEngine runs many concurrent extractions against
+// one shared engine — the serving layer's access pattern — and checks results
+// stay correct and deterministic under -race.
+func TestExtractConcurrentSameEngine(t *testing.T) {
+	e, err := Build(rmGrid(), Config{Procs: 2, CacheBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Extract(context.Background(), 128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := e.Extract(context.Background(), 128, Options{})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if res.Active != want.Active || res.Triangles != want.Triangles {
+					errs[w] = fmt.Errorf("worker %d: %d/%d active/triangles, want %d/%d",
+						w, res.Active, res.Triangles, want.Active, want.Triangles)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
 }

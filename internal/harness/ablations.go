@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -87,12 +88,12 @@ type DistributionRow struct {
 
 // AblationDistribution compares the three distribution schemes on the RM
 // workload for the given node count.
-func AblationDistribution(cfg RMConfig, procs int) ([]DistributionRow, error) {
+func AblationDistribution(ctx context.Context, cfg RMConfig, procs int) ([]DistributionRow, error) {
 	g := Volume(cfg)
 	_, cells := metacell.Extract(g, cfg.span())
 
 	// Scheme 1: the paper's brick striping, via the real engine.
-	striped, err := BalanceTable(cfg, procs, "metacells")
+	striped, err := BalanceTable(ctx, cfg, procs, "metacells")
 	if err != nil {
 		return nil, err
 	}
@@ -325,14 +326,14 @@ type DispatchRow struct {
 // AblationHostDispatch models the BBIO host-dispatch makespan against the
 // measured independent per-node times of our engine at the reference
 // isovalue, for several worker counts.
-func AblationHostDispatch(cfg RMConfig, iso float32, workerCounts []int) ([]DispatchRow, error) {
+func AblationHostDispatch(ctx context.Context, cfg RMConfig, iso float32, workerCounts []int) ([]DispatchRow, error) {
 	var rows []DispatchRow
 	for _, procs := range workerCounts {
 		eng, err := Engine(cfg, procs)
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Extract(iso, cluster.Options{})
+		res, err := eng.Extract(ctx, iso, cluster.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -27,11 +28,11 @@ type ScalingPoint struct {
 // points of Figure 5 (Overall) and Figure 6 (Speedup). The overall time is
 // the slowest node's modeled I/O + measured triangulation + measured
 // rendering, plus the composite, as in the performance tables.
-func ScalingSeries(cfg RMConfig, procsList []int, opt PerfOptions) ([]ScalingPoint, error) {
+func ScalingSeries(ctx context.Context, cfg RMConfig, procsList []int, opt PerfOptions) ([]ScalingPoint, error) {
 	var points []ScalingPoint
 	base := map[float32]time.Duration{} // p=1 overall per isovalue
 	for _, procs := range procsList {
-		rows, err := PerfTable(cfg, procs, opt)
+		rows, err := PerfTable(ctx, cfg, procs, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -107,12 +108,12 @@ type Figure4Result struct {
 // Figure4 runs the full pipeline — extract at the paper's isovalue 190,
 // render per node, sort-last composite onto a 2×2 wall — and optionally
 // writes the assembled image as a PPM file.
-func Figure4(cfg RMConfig, iso float32, procs, w, h int, outPath string) (*Figure4Result, error) {
+func Figure4(ctx context.Context, cfg RMConfig, iso float32, procs, w, h int, outPath string) (*Figure4Result, error) {
 	eng, err := Engine(cfg, procs)
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.Extract(iso, cluster.Options{KeepMeshes: true})
+	res, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
 	if err != nil {
 		return nil, err
 	}

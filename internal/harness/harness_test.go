@@ -2,12 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/composite"
+	"repro/internal/serve"
 )
 
 // All harness tests use the Small configuration so the full suite stays
@@ -81,7 +83,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestPerfTableSingleNode(t *testing.T) {
-	rows, err := PerfTable(Small(), 1, PerfOptions{FrameW: 64, FrameH: 64})
+	rows, err := PerfTable(context.Background(), Small(), 1, PerfOptions{FrameW: 64, FrameH: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestPerfTableSingleNode(t *testing.T) {
 }
 
 func TestPerfTableSkipRender(t *testing.T) {
-	rows, err := PerfTable(Small(), 2, PerfOptions{SkipRender: true})
+	rows, err := PerfTable(context.Background(), Small(), 2, PerfOptions{SkipRender: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestIOTimeLinearInOutput(t *testing.T) {
 	// amount of active data. Verify modeled I/O time correlates with active
 	// metacells across the sweep (ratio of time-per-metacell within 2× of
 	// the mean).
-	rows, err := PerfTable(Small(), 1, PerfOptions{SkipRender: true})
+	rows, err := PerfTable(context.Background(), Small(), 1, PerfOptions{SkipRender: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestIOTimeLinearInOutput(t *testing.T) {
 
 func TestBalanceTables(t *testing.T) {
 	for _, metric := range []string{"metacells", "triangles"} {
-		rows, err := BalanceTable(Small(), 4, metric)
+		rows, err := BalanceTable(context.Background(), Small(), 4, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +175,7 @@ func TestBalanceTables(t *testing.T) {
 			t.Error("printed balance table malformed")
 		}
 	}
-	if _, err := BalanceTable(Small(), 2, "nonsense"); err == nil {
+	if _, err := BalanceTable(context.Background(), Small(), 2, "nonsense"); err == nil {
 		t.Error("unknown metric should fail")
 	}
 }
@@ -181,7 +183,7 @@ func TestBalanceTables(t *testing.T) {
 func TestTable8(t *testing.T) {
 	cfg := Small()
 	steps := []int{180, 185, 190, 195}
-	rows, idx, err := Table8(cfg, steps, 70, 2)
+	rows, idx, err := Table8(context.Background(), cfg, steps, 70, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestTable8(t *testing.T) {
 
 func TestScalingSeries(t *testing.T) {
 	procs := []int{1, 2, 4}
-	pts, err := ScalingSeries(Small(), procs, PerfOptions{SkipRender: true})
+	pts, err := ScalingSeries(context.Background(), Small(), procs, PerfOptions{SkipRender: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestScalingSeries(t *testing.T) {
 
 func TestFigure4(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "fig4.ppm")
-	res, err := Figure4(Small(), 190, 2, 128, 128, out)
+	res, err := Figure4(context.Background(), Small(), 190, 2, 128, 128, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +284,7 @@ func TestAblationIndexStructures(t *testing.T) {
 }
 
 func TestAblationDistribution(t *testing.T) {
-	rows, err := AblationDistribution(Small(), 4)
+	rows, err := AblationDistribution(context.Background(), Small(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +352,7 @@ func TestAblationMetacellSize(t *testing.T) {
 }
 
 func TestAblationHostDispatch(t *testing.T) {
-	rows, err := AblationHostDispatch(Small(), 110, []int{2, 4})
+	rows, err := AblationHostDispatch(context.Background(), Small(), 110, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +425,7 @@ func TestCompositeTrafficOrdersOfMagnitudeBelowTriangles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Extract(110, cluster.Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), 110, cluster.Options{KeepMeshes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,5 +441,44 @@ func TestCompositeTrafficOrdersOfMagnitudeBelowTriangles(t *testing.T) {
 	if st.BytesMoved*5 > triangleBytes {
 		t.Errorf("composite traffic %d B not well below triangle data %d B",
 			st.BytesMoved, triangleBytes)
+	}
+}
+
+func TestServingTable(t *testing.T) {
+	w := ServingWorkload{ReqPerClient: 6, Levels: 8, Seed: 1}
+	rows, err := ServingTable(context.Background(), Small(), 2, []int{1, 4}, w, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Requests != r.Clients*6 {
+			t.Errorf("%d clients: %d requests", r.Clients, r.Requests)
+		}
+		if r.ServedQPS <= 0 || r.DirectQPS <= 0 {
+			t.Errorf("%d clients: missing throughput", r.Clients)
+		}
+		if r.Extractions <= 0 {
+			t.Errorf("%d clients: server reported no extractions", r.Clients)
+		}
+		if got := r.CacheHits + r.Coalesced + r.Extractions; got < int64(r.Requests) {
+			t.Errorf("%d clients: hits+coalesced+extractions = %d < %d requests", r.Clients, got, r.Requests)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Errorf("%d clients: bad percentiles p50=%v p99=%v", r.Clients, r.P50, r.P99)
+		}
+	}
+	// The Zipf head repeats isovalues, so the server must beat uncached
+	// direct extraction once clients pile up.
+	if rows[1].Speedup <= 1 {
+		t.Errorf("4 clients: served %.1f q/s not faster than direct %.1f q/s",
+			rows[1].ServedQPS, rows[1].DirectQPS)
+	}
+	var buf bytes.Buffer
+	PrintServingTable(&buf, 2, w, rows)
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Error("printed serving table malformed")
 	}
 }

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------------
+// Serving-layer experiment: throughput vs concurrent clients, with and
+// without the query service's coalescing + mesh cache.
+
+// ServingRow reports one client count of the serving experiment. Served runs
+// the closed-loop workload through a serve.Server; Direct runs the identical
+// workload straight against Engine.Extract with no coalescing or cache.
+type ServingRow struct {
+	Clients  int
+	Requests int // total requests issued across all clients
+
+	ServedQPS float64
+	DirectQPS float64
+	Speedup   float64 // ServedQPS / DirectQPS
+
+	HitRate     float64 // (cache hits + coalesced) / requests
+	CacheHits   int64
+	Coalesced   int64
+	Extractions int64
+
+	P50, P99 time.Duration // served per-request latency percentiles
+}
+
+// ServingWorkload fixes the synthetic client population of the serving
+// experiment: closed-loop clients drawing isovalues from a Zipf distribution
+// over a fixed set of levels — the "popular isosurface" traffic a public
+// query service sees.
+type ServingWorkload struct {
+	ReqPerClient int     // requests each client issues (0 = 32)
+	Levels       int     // distinct isovalue levels (0 = 64)
+	ZipfS        float64 // Zipf skew parameter (0 = 1.1)
+	IsoMin       float32 // level range (both 0 = the paper's 10..210)
+	IsoMax       float32
+	Seed         int64 // base RNG seed (client k uses Seed+k)
+}
+
+func (w ServingWorkload) withDefaults() ServingWorkload {
+	if w.ReqPerClient <= 0 {
+		w.ReqPerClient = 32
+	}
+	if w.Levels < 2 {
+		w.Levels = 64 // IsoOfLevel needs ≥ 2 levels to span a range
+	}
+	if w.ZipfS <= 1 {
+		w.ZipfS = 1.1 // rand.NewZipf requires s > 1 (returns nil otherwise)
+	}
+	if w.IsoMin == 0 && w.IsoMax == 0 {
+		w.IsoMin, w.IsoMax = 10, 210
+	}
+	return w
+}
+
+// IsoOfLevel maps a Zipf popularity rank to an isovalue. Ranks are scattered
+// across the level range with a fixed permutation (rand.Perm of Levels seeded
+// with Seed) so popularity is not correlated with surface size. Exported for
+// cmd/isoserve, whose open-loop generator draws the same workload.
+func (w ServingWorkload) IsoOfLevel(perm []int, rank uint64) float32 {
+	lv := perm[int(rank)%len(perm)]
+	return w.IsoMin + (w.IsoMax-w.IsoMin)*float32(lv)/float32(w.Levels-1)
+}
+
+// runClients drives n closed-loop clients issuing w.ReqPerClient requests
+// each through query, returning the wall time and every request latency.
+func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx context.Context, iso float32) error) (time.Duration, []time.Duration, error) {
+	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
+	lats := make([][]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(w.Seed + int64(k)))
+			zipf := rand.NewZipf(rnd, w.ZipfS, 1, uint64(w.Levels-1))
+			for i := 0; i < w.ReqPerClient; i++ {
+				if ctx.Err() != nil {
+					errs[k] = ctx.Err()
+					return
+				}
+				iso := w.IsoOfLevel(perm, zipf.Uint64())
+				t0 := time.Now()
+				if err := query(ctx, iso); err != nil {
+					errs[k] = fmt.Errorf("harness: client %d request %d (iso %v): %w", k, i, iso, err)
+					return
+				}
+				lats[k] = append(lats[k], time.Since(t0))
+			}
+		}(k)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return wall, all, nil
+}
+
+// ServingTable runs the serving experiment over the given client counts: the
+// same Zipf workload first through a fresh serve.Server (coalescing + mesh
+// cache + admission control) and then directly against Engine.Extract. The
+// server's queue is sized to the client population so closed-loop clients
+// saturate the extraction slots instead of being shed.
+func ServingTable(ctx context.Context, cfg RMConfig, procs int, clientCounts []int, w ServingWorkload, scfg serve.Config) ([]ServingRow, error) {
+	w = w.withDefaults()
+	eng, err := Engine(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ServingRow
+	for _, n := range clientCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("harness: client count must be ≥ 1, got %d", n)
+		}
+		c := scfg
+		if c.QueueDepth == 0 {
+			c.QueueDepth = n // never shed the benchmark's own closed loop
+		}
+		srv := serve.NewServer(eng, c)
+		servedWall, lats, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) error {
+			_, err := srv.Query(ctx, 0, iso)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		directWall, _, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) error {
+			_, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := srv.Stats()
+		total := n * w.ReqPerClient
+		row := ServingRow{
+			Clients:     n,
+			Requests:    total,
+			ServedQPS:   float64(total) / servedWall.Seconds(),
+			DirectQPS:   float64(total) / directWall.Seconds(),
+			HitRate:     st.HitRate(),
+			CacheHits:   st.CacheHits,
+			Coalesced:   st.Coalesced,
+			Extractions: st.Extractions,
+			P50:         lats[len(lats)/2],
+			P99:         lats[len(lats)*99/100],
+		}
+		if row.DirectQPS > 0 {
+			row.Speedup = row.ServedQPS / row.DirectQPS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintServingTable emits the serving experiment in the repo's table style.
+func PrintServingTable(out io.Writer, procs int, w ServingWorkload, rows []ServingRow) {
+	ww := w.withDefaults()
+	fmt.Fprintf(out, "closed-loop clients, Zipf(%.2g) over %d isovalue levels, %d requests/client, %d nodes\n",
+		ww.ZipfS, ww.Levels, ww.ReqPerClient, procs)
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "clients\treqs\tserved q/s\tdirect q/s\tspeedup\thit rate\thits\tcoalesced\textractions\tp50\tp99\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.1f×\t%.0f%%\t%d\t%d\t%d\t%s\t%s\t\n",
+			r.Clients, r.Requests, r.ServedQPS, r.DirectQPS, r.Speedup,
+			100*r.HitRate, r.CacheHits, r.Coalesced, r.Extractions,
+			fmtDur(r.P50), fmtDur(r.P99))
+	}
+	tw.Flush()
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -36,7 +37,7 @@ type ScheduleRow struct {
 // preprocessed engine. The streaming peak is bounded by
 // PipelineDepth×BatchRecords×recordSize no matter how large the isosurface;
 // the two-phase peak is the active-metacell bytes themselves.
-func AblationSchedule(cfg RMConfig, procs int) ([]ScheduleRow, error) {
+func AblationSchedule(ctx context.Context, cfg RMConfig, procs int) ([]ScheduleRow, error) {
 	eng, err := Engine(cfg, procs)
 	if err != nil {
 		return nil, err
@@ -44,11 +45,11 @@ func AblationSchedule(cfg RMConfig, procs int) ([]ScheduleRow, error) {
 	recSize := int64(eng.Layout.RecordSize())
 	var rows []ScheduleRow
 	for _, iso := range Sweep() {
-		two, err := eng.Extract(iso, cluster.Options{TwoPhase: true})
+		two, err := eng.Extract(ctx, iso, cluster.Options{TwoPhase: true})
 		if err != nil {
 			return nil, err
 		}
-		str, err := eng.Extract(iso, cluster.Options{})
+		str, err := eng.Extract(ctx, iso, cluster.Options{})
 		if err != nil {
 			return nil, err
 		}

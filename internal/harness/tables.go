@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -123,7 +124,7 @@ type PerfOptions struct {
 // PerfTable runs the isovalue sweep on the given node count, producing one
 // row per isovalue. This regenerates Table 2 (procs=1), Table 3 (2),
 // Table 4 (4) and Table 5 (8).
-func PerfTable(cfg RMConfig, procs int, opt PerfOptions) ([]PerfRow, error) {
+func PerfTable(ctx context.Context, cfg RMConfig, procs int, opt PerfOptions) ([]PerfRow, error) {
 	if opt.FrameW == 0 {
 		opt.FrameW = 512
 	}
@@ -136,7 +137,7 @@ func PerfTable(cfg RMConfig, procs int, opt PerfOptions) ([]PerfRow, error) {
 	}
 	var rows []PerfRow
 	for _, iso := range Sweep() {
-		res, err := eng.Extract(iso, cluster.Options{KeepMeshes: !opt.SkipRender})
+		res, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: !opt.SkipRender})
 		if err != nil {
 			return nil, err
 		}
@@ -234,14 +235,14 @@ type BalanceRow struct {
 
 // BalanceTable computes the per-node distribution of active metacells
 // (metric="metacells", Table 6) or triangles (metric="triangles", Table 7).
-func BalanceTable(cfg RMConfig, procs int, metric string) ([]BalanceRow, error) {
+func BalanceTable(ctx context.Context, cfg RMConfig, procs int, metric string) ([]BalanceRow, error) {
 	eng, err := Engine(cfg, procs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []BalanceRow
 	for _, iso := range Sweep() {
-		res, err := eng.Extract(iso, cluster.Options{})
+		res, err := eng.Extract(ctx, iso, cluster.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -309,7 +310,7 @@ type Table8Row struct {
 
 // Table8 preprocesses the given steps (paper: 180–195) and extracts the
 // fixed isovalue (paper: 70) on a procs-node configuration (paper: 4).
-func Table8(cfg RMConfig, steps []int, iso float32, procs int) ([]Table8Row, *core.TimeVaryingIndex, error) {
+func Table8(ctx context.Context, cfg RMConfig, steps []int, iso float32, procs int) ([]Table8Row, *core.TimeVaryingIndex, error) {
 	gen := volume.TimeVaryingRM(cfg.NX, cfg.NY, cfg.NZ, cfg.Seed)
 	tv, err := cluster.BuildTimeVarying(gen, steps, cluster.Config{Procs: procs, Span: cfg.Span})
 	if err != nil {
@@ -317,7 +318,7 @@ func Table8(cfg RMConfig, steps []int, iso float32, procs int) ([]Table8Row, *co
 	}
 	var rows []Table8Row
 	for _, s := range steps {
-		res, err := tv.Extract(s, iso, cluster.Options{})
+		res, err := tv.Extract(ctx, s, iso, cluster.Options{})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -365,8 +366,10 @@ func fmtDur(d time.Duration) string {
 		return fmt.Sprintf("%.2fs", d.Seconds())
 	case d >= time.Millisecond:
 		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
-	default:
+	case d >= time.Microsecond:
 		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
 	}
 }
 

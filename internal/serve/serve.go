@@ -1,0 +1,354 @@
+// Package serve is the concurrent query-serving layer: it fronts a
+// preprocessed engine (one time step or a time-varying set) for many
+// simultaneous clients, turning the one-shot extraction pipeline into a
+// multi-client service.
+//
+// Three mechanisms make N clients cheaper than N extractions:
+//
+//   - Request coalescing: concurrent requests for the same (time step,
+//     quantized isovalue) key join a single in-flight extraction and all
+//     receive its result, singleflight-style.
+//   - Mesh cache: completed results are kept in a byte-budgeted LRU keyed the
+//     same way, so repeated queries — the common case under a Zipf-shaped
+//     isovalue popularity — skip the backend entirely.
+//   - Admission control: at most MaxInFlight extractions run at once and at
+//     most QueueDepth more may wait; past that, requests fail fast with
+//     ErrSaturated instead of piling onto the disks.
+//
+// Every request carries a context.Context that is threaded down through
+// Engine.Extract into the streaming pipeline's abort path. A coalesced
+// extraction is cancelled only when every waiter has abandoned it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ErrSaturated is returned when admission control sheds a request: MaxInFlight
+// extractions are running and QueueDepth more are already waiting.
+var ErrSaturated = errors.New("serve: saturated: extraction and queue limits reached")
+
+// Backend is the extraction service a Server fronts. Implementations must be
+// safe for concurrent use; both cluster engine kinds are.
+type Backend interface {
+	// ExtractStep runs one isosurface extraction against one time step,
+	// honoring ctx cancellation.
+	ExtractStep(ctx context.Context, step int, iso float32, opts cluster.Options) (*cluster.Result, error)
+}
+
+// Config sizes a Server.
+type Config struct {
+	// MaxInFlight is the number of extractions allowed to run concurrently
+	// (0 = 2). Coalesced joins and cache hits don't consume a slot.
+	MaxInFlight int
+	// QueueDepth is how many extractions beyond MaxInFlight may wait for a
+	// slot before further ones are rejected with ErrSaturated (0 = 16; use a
+	// negative value for no queue at all).
+	QueueDepth int
+	// CacheBytes is the mesh cache budget in triangle-payload bytes
+	// (0 = 256 MiB; negative disables caching).
+	CacheBytes int64
+	// IsoQuantum is the isovalue bucket width of the coalescing/cache key:
+	// requests within the same bucket are served the same mesh (0 = 1, which
+	// matches the paper's integer isovalue sweeps; must be > 0 to coalesce
+	// anything).
+	IsoQuantum float32
+	// Options is the extraction configuration used for every backend call.
+	// KeepMeshes is forced on — a serving layer that drops its meshes would
+	// have nothing to return.
+	Options cluster.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 16
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.IsoQuantum <= 0 {
+		c.IsoQuantum = 1
+	}
+	c.Options.KeepMeshes = true
+	return c
+}
+
+// Key identifies a servable surface: one time step and one quantized
+// isovalue bucket. Requests sharing a Key share extractions and cache slots.
+type Key struct {
+	Step   int
+	Bucket int64
+}
+
+// Source says how a request was satisfied.
+type Source int
+
+const (
+	// SourceExtracted: this request led the extraction that produced the mesh.
+	SourceExtracted Source = iota
+	// SourceCache: served from the mesh cache with no backend work.
+	SourceCache
+	// SourceCoalesced: joined another request's in-flight extraction.
+	SourceCoalesced
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceExtracted:
+		return "extracted"
+	case SourceCache:
+		return "cache"
+	case SourceCoalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Response is a served query result. Result is shared between every client
+// whose request mapped to the same Key and with the cache itself — treat it
+// as immutable.
+type Response struct {
+	Key    Key
+	Iso    float32 // the quantized isovalue actually extracted
+	Source Source
+	Wall   time.Duration // request latency inside the server
+	Result *cluster.Result
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Requests    int64 // queries received
+	CacheHits   int64 // served straight from the mesh cache
+	Coalesced   int64 // joined an in-flight identical extraction
+	Extractions int64 // extractions completed against the backend
+	Rejected    int64 // shed by admission control (ErrSaturated)
+	Canceled    int64 // requests abandoned by their context
+	Evictions   int64 // cache entries evicted to fit the byte budget
+
+	CachedMeshes int   // current cache entries
+	CachedBytes  int64 // current cache payload bytes
+	InFlight     int   // extractions running now
+	Queued       int   // extractions waiting for a slot now
+}
+
+// HitRate returns the fraction of requests served without backend work
+// (cache hits plus coalesced joins), 0 if there were no requests.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.Coalesced) / float64(s.Requests)
+}
+
+// call is one in-flight extraction that any number of requests may be
+// waiting on. waiters is guarded by the server mutex; done is closed exactly
+// once, after res/err are set.
+type call struct {
+	key     Key
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	res     *cluster.Result
+	err     error
+}
+
+// Server is the concurrent isosurface query service. The zero value is not
+// usable; construct with New, NewServer or NewTimeVaryingServer.
+type Server struct {
+	backend Backend
+	cfg     Config
+
+	mu       sync.Mutex
+	inflight map[Key]*call
+	cache    *meshCache
+	queued   int
+	running  int
+	stats    Stats
+
+	slots chan struct{} // capacity MaxInFlight; holding a token = running
+}
+
+// New builds a Server over any Backend.
+func New(b Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		backend:  b,
+		cfg:      cfg,
+		inflight: map[Key]*call{},
+		cache:    newMeshCache(cfg.CacheBytes),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// NewServer serves a single preprocessed time step; its queries must use
+// step 0.
+func NewServer(eng *cluster.Engine, cfg Config) *Server {
+	return New(engineBackend{eng}, cfg)
+}
+
+// NewTimeVaryingServer serves every step indexed by tv.
+func NewTimeVaryingServer(tv *cluster.TimeVaryingEngine, cfg Config) *Server {
+	return New(tvBackend{tv}, cfg)
+}
+
+type engineBackend struct{ eng *cluster.Engine }
+
+func (b engineBackend) ExtractStep(ctx context.Context, step int, iso float32, opts cluster.Options) (*cluster.Result, error) {
+	if step != 0 {
+		return nil, fmt.Errorf("serve: single-step engine has no time step %d", step)
+	}
+	return b.eng.Extract(ctx, iso, opts)
+}
+
+type tvBackend struct{ tv *cluster.TimeVaryingEngine }
+
+func (b tvBackend) ExtractStep(ctx context.Context, step int, iso float32, opts cluster.Options) (*cluster.Result, error) {
+	return b.tv.Extract(ctx, step, iso, opts)
+}
+
+// KeyFor returns the coalescing/cache key a query maps to.
+func (s *Server) KeyFor(step int, iso float32) Key {
+	return Key{Step: step, Bucket: int64(math.Round(float64(iso) / float64(s.cfg.IsoQuantum)))}
+}
+
+// IsoOf returns the quantized isovalue a key extracts — the bucket center
+// every request in the bucket is served.
+func (s *Server) IsoOf(k Key) float32 {
+	return float32(k.Bucket) * s.cfg.IsoQuantum
+}
+
+// Query serves one isosurface request: cache hit, coalesced join, or a fresh
+// extraction under admission control. It blocks until the mesh is available,
+// the request is rejected, or ctx is done.
+func (s *Server) Query(ctx context.Context, step int, iso float32) (*Response, error) {
+	start := time.Now()
+	key := s.KeyFor(step, iso)
+
+	s.mu.Lock()
+	s.stats.Requests++
+	if res, ok := s.cache.get(key); ok {
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		return &Response{Key: key, Iso: s.IsoOf(key), Source: SourceCache, Wall: time.Since(start), Result: res}, nil
+	}
+	// Join an in-flight extraction — unless its last waiter already
+	// abandoned it (its context is cancelled and it is only draining); a
+	// joiner would inherit the dying call's context.Canceled. Such a call is
+	// replaced in the map; its own teardown only deletes the entry it still
+	// owns.
+	if c, ok := s.inflight[key]; ok && c.ctx.Err() == nil {
+		c.waiters++
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		return s.wait(ctx, c, SourceCoalesced, start)
+	}
+	if s.running+s.queued >= s.cfg.MaxInFlight+s.cfg.QueueDepth {
+		s.stats.Rejected++
+		running, queued := s.running, s.queued
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrSaturated, running, queued)
+	}
+	c := &call{key: key, waiters: 1, done: make(chan struct{})}
+	// The extraction's context belongs to the call, not to any one client:
+	// it is cancelled only when the last waiter abandons the call.
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	s.inflight[key] = c
+	s.queued++
+	s.mu.Unlock()
+
+	go s.run(c)
+	return s.wait(ctx, c, SourceExtracted, start)
+}
+
+// wait blocks until c completes or ctx is done. Abandoning a call decrements
+// its waiter count; the last abandonment cancels the extraction itself.
+func (s *Server) wait(ctx context.Context, c *call, src Source, start time.Time) (*Response, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		return &Response{Key: c.key, Iso: s.IsoOf(c.key), Source: src, Wall: time.Since(start), Result: c.res}, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.stats.Canceled++
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+		}
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one call: wait for an extraction slot (admission), extract,
+// publish the result to cache and waiters. Runs in its own goroutine so that
+// a leader whose context dies doesn't take the coalesced extraction with it.
+func (s *Server) run(c *call) {
+	defer c.cancel()
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-c.ctx.Done():
+		// Every waiter left while we were still queued.
+		s.mu.Lock()
+		s.queued--
+		s.unregister(c)
+		c.err = c.ctx.Err()
+		close(c.done)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.mu.Unlock()
+
+	res, err := s.backend.ExtractStep(c.ctx, c.key.Step, s.IsoOf(c.key), s.cfg.Options)
+
+	s.mu.Lock()
+	s.running--
+	if err == nil {
+		s.stats.Extractions++
+		s.stats.Evictions += s.cache.put(c.key, res)
+	}
+	c.res, c.err = res, err
+	s.unregister(c)
+	close(c.done)
+	s.mu.Unlock()
+	<-s.slots
+}
+
+// unregister removes c from the in-flight map if the entry is still c's: a
+// fully-abandoned call may already have been replaced by a successor for the
+// same key, which must not be evicted. Caller holds s.mu.
+func (s *Server) unregister(c *call) {
+	if s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CachedMeshes, st.CachedBytes = s.cache.size()
+	st.InFlight, st.Queued = s.running, s.queued
+	return st
+}

@@ -17,14 +17,21 @@
 // memory (Options.TwoPhase selects the paper's original
 // retrieve-everything-then-triangulate schedule). Config.CacheBlocks adds an
 // LRU block cache over each node's disk for repeated sweeps such as
-// animation or isovalue scans.
+// animation or isovalue scans. Extraction takes a context.Context; cancelling
+// it aborts the pipeline mid-stream on every node.
+//
+// For many concurrent clients, wrap an engine in a Server (NewServer /
+// NewTimeVaryingServer): concurrent requests for the same (time step,
+// quantized isovalue) are coalesced into one extraction, completed meshes are
+// kept in a byte-budgeted LRU cache, and admission control bounds in-flight
+// work, shedding excess load with ErrSaturated.
 //
 // Quick start:
 //
 //	vol := repro.GenerateRM(256, 256, 240, 250, 42) // synthetic RM time step
 //	eng, err := repro.Preprocess(vol, repro.Config{Procs: 4})
 //	// handle err
-//	res, err := eng.Extract(190, repro.Options{KeepMeshes: true})
+//	res, err := eng.Extract(ctx, 190, repro.Options{KeepMeshes: true})
 //	// handle err
 //	img, err := repro.RenderComposite(res, 1024, 768)
 //	// handle err
@@ -42,6 +49,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/render"
+	"repro/internal/serve"
 	"repro/internal/unstructured"
 	"repro/internal/volume"
 )
@@ -84,7 +92,23 @@ type (
 	TetMesh = unstructured.Mesh
 	// TetIndex accelerates isosurface extraction over a TetMesh.
 	TetIndex = unstructured.Index
+	// Server is the concurrent query service: request coalescing, mesh
+	// cache, admission control (see NewServer / NewTimeVaryingServer).
+	Server = serve.Server
+	// ServeConfig sizes a Server (in-flight limit, queue depth, cache
+	// budget, isovalue quantum).
+	ServeConfig = serve.Config
+	// ServeStats is a snapshot of a Server's counters.
+	ServeStats = serve.Stats
+	// ServeResponse is one served query result.
+	ServeResponse = serve.Response
+	// ServeKey is the (time step, quantized isovalue) coalescing/cache key.
+	ServeKey = serve.Key
 )
+
+// ErrSaturated is returned by Server.Query when admission control sheds the
+// request.
+var ErrSaturated = serve.ErrSaturated
 
 // Scalar storage formats.
 const (
@@ -126,6 +150,15 @@ func PreprocessTimeVarying(gen func(step int) *Grid, steps []int, cfg Config) (*
 // with PreprocessTimeVarying.
 func TimeVaryingRM(nx, ny, nz int, seed uint64) func(step int) *Grid {
 	return volume.TimeVaryingRM(nx, ny, nz, seed)
+}
+
+// NewServer wraps a single-time-step engine in a concurrent query service;
+// queries address it as time step 0.
+func NewServer(eng *Engine, cfg ServeConfig) *Server { return serve.NewServer(eng, cfg) }
+
+// NewTimeVaryingServer serves every indexed step of a time-varying engine.
+func NewTimeVaryingServer(tv *TimeVaryingEngine, cfg ServeConfig) *Server {
+	return serve.NewTimeVaryingServer(tv, cfg)
 }
 
 // RenderComposite renders each node's mesh on its own (software) GPU and

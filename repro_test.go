@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestQuickstartPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Extract(190, Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), 190, Options{KeepMeshes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRenderCompositeRequiresMeshes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Extract(128, Options{}) // no KeepMeshes
+	res, err := eng.Extract(context.Background(), 128, Options{}) // no KeepMeshes
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRenderWallAndAssemble(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Extract(128, Options{KeepMeshes: true})
+	res, err := eng.Extract(context.Background(), 128, Options{KeepMeshes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestTimeVaryingFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tv.Extract(200, 70, Options{})
+	res, err := tv.Extract(context.Background(), 200, 70, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,4 +114,53 @@ func TestFormatsExported(t *testing.T) {
 	if U8.Bytes() != 1 || U16.Bytes() != 2 || F32.Bytes() != 4 {
 		t.Error("format re-exports broken")
 	}
+}
+
+func TestServerFacade(t *testing.T) {
+	eng, err := Preprocess(GenerateRM(33, 33, 30, 250, 1), Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, ServeConfig{})
+	var first *ServeResponse
+	for i := 0; i < 3; i++ {
+		r, err := srv.Query(context.Background(), 0, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = r
+		} else if r.Result != first.Result {
+			t.Error("repeated queries should share the cached result")
+		}
+	}
+	st := srv.Stats()
+	if st.Extractions != 1 || st.CacheHits != 2 {
+		t.Errorf("stats = %+v, want 1 extraction and 2 hits", st)
+	}
+	// The served mesh renders like a direct extraction's.
+	img, err := RenderComposite(first.Result, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CoveredPixels() == 0 {
+		t.Error("served mesh rendered empty")
+	}
+
+	tvSrv := NewTimeVaryingServer(mustTV(t), ServeConfig{})
+	if _, err := tvSrv.Query(context.Background(), 200, 70); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tvSrv.Query(context.Background(), 999, 70); err == nil {
+		t.Error("unknown time step should fail")
+	}
+}
+
+func mustTV(t *testing.T) *TimeVaryingEngine {
+	t.Helper()
+	tv, err := PreprocessTimeVarying(TimeVaryingRM(17, 17, 16, 3), []int{100, 200}, Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tv
 }
