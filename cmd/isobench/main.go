@@ -27,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isobench: ")
 	var (
-		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|all")
+		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|tune|all")
 		size  = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
 		out   = flag.String("out", "figure4.ppm", "output image path for fig4")
 		cache = flag.Int("cache", 0, "LRU cache blocks per node disk (0 = cold-cache paper model); warms isovalue sweeps")
@@ -158,6 +158,13 @@ func main() {
 		check(err)
 		section("Serving layer: throughput vs clients (4 nodes)")
 		harness.PrintServingTable(os.Stdout, 4, w, rows)
+	}
+	if want("ablations") || *exp == "tune" {
+		ran = true
+		tr, tp, err := harness.AblationTune(ctx, cfg, 4, 110, 3)
+		check(err)
+		section("Ablation: pipeline auto-tuner (4 nodes)")
+		harness.PrintTuneAblation(os.Stdout, 110, 4, tr, tp)
 	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)

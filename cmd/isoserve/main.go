@@ -113,6 +113,8 @@ func main() {
 		r := rows[0]
 		fmt.Printf("\ncoalescing + mesh cache: %.1f q/s vs %.1f q/s direct → %.1f× throughput\n",
 			r.ServedQPS, r.DirectQPS, r.Speedup)
+		fmt.Printf("delivered geometry: %.1f Mtri/s served vs %.1f Mtri/s direct\n",
+			r.ServedMtriPerSec, r.DirectMtriPerSec)
 		return
 	}
 

@@ -84,6 +84,19 @@ type Engine struct {
 	trees []*core.Tree
 	devs  []blockio.Device
 
+	// meshPool recycles per-batch indexed meshes across extractions: a
+	// KeepMeshes extraction holds every batch mesh until its ordered merge,
+	// so they cannot live in per-worker scratch, but repeated extractions
+	// (the serving layer's steady state) reuse them here. Access through
+	// getBatchMesh — engines are built by several constructors (Build,
+	// Open, …) and the pool must work from any of them.
+	meshPool sync.Pool
+
+	// Auto-tuner state: the calibrated parameters, computed once per engine
+	// on first AutoTune use (see tune.go).
+	tuneMu sync.Mutex
+	tuned  *TunedParams
+
 	// Preprocessing statistics.
 	TotalMetacells   int   // non-constant metacells kept
 	DroppedMetacells int   // constant metacells discarded
@@ -257,6 +270,7 @@ type Result struct {
 	Wall      time.Duration // measured wall time of the whole parallel phase
 	Active    int           // total active metacells
 	Triangles int           // total triangles
+	Tuned     *TunedParams  // the calibrated parameters used (nil unless Options.AutoTune)
 }
 
 // MaxNodeTime returns the slowest node's modeled time (I/O model +
@@ -297,6 +311,18 @@ type Options struct {
 	// active metacell record in memory, then triangulate — whose peak memory
 	// grows with the isosurface. Kept as the ablation baseline.
 	TwoPhase bool
+	// Threads overrides the engine's per-node triangulation thread count for
+	// this extraction (0 = the engine's configured ThreadsPerNode).
+	Threads int
+	// AutoTune calibrates Threads, BatchRecords, and PipelineDepth with a
+	// short probe pass before extracting (see Engine.AutoTune). The chosen
+	// values override any set here, are reported in Result.Tuned, and are
+	// cached on the engine so only the first extraction pays for calibration.
+	AutoTune bool
+
+	// probeBatches, when > 0, stops the streaming producer after that many
+	// batches — the auto-tuner's calibration hook.
+	probeBatches int
 }
 
 func (o Options) applyDefaults() Options {
@@ -333,6 +359,16 @@ func (e *Engine) Extract(ctx context.Context, iso float32, opts Options) (*Resul
 	}
 	opts = opts.applyDefaults()
 	res := &Result{Iso: iso, PerNode: make([]NodeResult, e.Procs)}
+	if opts.AutoTune && !opts.TwoPhase {
+		tp, err := e.AutoTune(ctx, iso)
+		if err != nil {
+			return nil, err
+		}
+		opts.Threads = tp.Threads
+		opts.BatchRecords = tp.BatchRecords
+		opts.PipelineDepth = tp.PipelineDepth
+		res.Tuned = &tp
+	}
 	errs := make([]error, e.Procs)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -405,6 +441,9 @@ func (e *Engine) extractNodeTwoPhase(ctx context.Context, node int, iso float32,
 	t1 := time.Now()
 	numRecs := len(records) / recSize
 	threads := e.Threads
+	if opts.Threads > 0 {
+		threads = opts.Threads
+	}
 	if threads <= 0 || threads > numRecs {
 		threads = 1
 	}
@@ -442,6 +481,11 @@ func (e *Engine) extractNodeTwoPhase(ctx context.Context, node int, iso float32,
 	}
 	mesh := meshes[0]
 	nr.ActiveCells = activeCounts[0]
+	extra := 0
+	for t := 1; t < threads; t++ {
+		extra += meshes[t].Len()
+	}
+	mesh.Grow(extra)
 	for t := 1; t < threads; t++ {
 		mesh.Append(meshes[t].Tris...)
 		nr.ActiveCells += activeCounts[t]

@@ -19,6 +19,10 @@ import (
 // a worker has failed; the worker's error is the one reported.
 var errPipelineAborted = errors.New("cluster: pipeline aborted")
 
+// errProbeDone ends a calibration probe cleanly once it has pushed
+// Options.probeBatches batches through the pipeline (see tune.go).
+var errProbeDone = errors.New("cluster: calibration probe complete")
+
 // streamBatch is one pipeline message: nrec records back to back in buf,
 // whose capacity is the full batch buffer being circulated.
 type streamBatch struct {
@@ -34,7 +38,33 @@ type batchOutput struct {
 	seq   int
 	cells int
 	tris  int
-	mesh  []geom.Triangle // nil unless KeepMeshes
+	mesh  *geom.IndexedMesh // nil unless KeepMeshes; owned by Engine.meshPool
+}
+
+// getBatchMesh takes a per-batch indexed mesh from the engine pool (which
+// needs no New hook, so every Engine constructor gets pooling for free).
+func (e *Engine) getBatchMesh() *geom.IndexedMesh {
+	if m, ok := e.meshPool.Get().(*geom.IndexedMesh); ok {
+		return m
+	}
+	return new(geom.IndexedMesh)
+}
+
+// weldBatch decodes one batch's records and triangulates them into out's
+// welded indexed mesh, returning the number of active cells. This is the
+// pipeline worker's steady-state body: once the caller's scratch (w, m, out)
+// has warmed up it must not allocate — TestWeldBatchZeroAllocSteadyState is
+// the regression gate.
+func weldBatch(l metacell.Layout, buf []byte, nrec, recSize int, iso float32, w *march.Welder, m *metacell.Meta, out *geom.IndexedMesh) (int, error) {
+	cells := 0
+	for r := 0; r < nrec; r++ {
+		rec := buf[r*recSize : (r+1)*recSize]
+		if err := metacell.DecodeRecordInto(l, rec, m); err != nil {
+			return cells, err
+		}
+		cells += w.Metacell(l, m, iso, out)
+	}
+	return cells, nil
 }
 
 // extractNodeStreaming is the per-node streaming schedule: a producer
@@ -55,6 +85,9 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 	recSize := e.Layout.RecordSize()
 	depth := opts.PipelineDepth
 	threads := e.Threads
+	if opts.Threads > 0 {
+		threads = opts.Threads
+	}
 	if threads < 1 {
 		threads = 1
 	}
@@ -92,6 +125,9 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 		defer close(work)
 		seq := 0
 		qstats, qerr = e.trees[node].QueryBatches(dev, iso, opts.BatchRecords, func(batch []byte, nrec int) error {
+			if opts.probeBatches > 0 && seq >= opts.probeBatches {
+				return errProbeDone // calibration probe has seen enough
+			}
 			var buf []byte
 			tw := time.Now()
 			select {
@@ -133,7 +169,8 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 		go func(t int) {
 			defer wgWork.Done()
 			var m metacell.Meta
-			scratch := &geom.Mesh{}
+			var w march.Welder
+			scratch := &geom.IndexedMesh{} // reused every batch when meshes are discarded
 			for {
 				tw := time.Now()
 				sb, ok := <-work
@@ -142,28 +179,29 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 					return
 				}
 				tb := time.Now()
-				out := batchOutput{seq: sb.seq}
-				for r := 0; r < sb.nrec; r++ {
-					rec := sb.buf[r*recSize : (r+1)*recSize]
-					if err := metacell.DecodeRecordInto(e.Layout, rec, &m); err != nil {
-						werrs[t] = fmt.Errorf("cluster: node %d decode: %w", node, err)
-						break
-					}
-					out.cells += march.Metacell(e.Layout, &m, iso, scratch)
+				im := scratch
+				if opts.KeepMeshes {
+					// Batch meshes survive until the ordered merge, so they
+					// cannot be per-worker scratch; the engine-level pool
+					// amortizes them across extractions instead.
+					im = e.getBatchMesh()
 				}
+				im.Reset()
+				cells, err := weldBatch(e.Layout, sb.buf, sb.nrec, recSize, iso, &w, &m, im)
 				busy[t] += time.Since(tb)
 				buffered.Add(-int64(len(sb.buf)))
 				free <- sb.buf[:cap(sb.buf)]
-				if werrs[t] != nil {
+				if err != nil {
+					werrs[t] = fmt.Errorf("cluster: node %d decode: %w", node, err)
+					if opts.KeepMeshes {
+						e.meshPool.Put(im)
+					}
 					abort()
 					return
 				}
-				out.tris = scratch.Len()
+				out := batchOutput{seq: sb.seq, cells: cells, tris: im.Len()}
 				if opts.KeepMeshes {
-					out.mesh = scratch.Tris
-					scratch = &geom.Mesh{}
-				} else {
-					scratch.Tris = scratch.Tris[:0]
+					out.mesh = im
 				}
 				outs[t] = append(outs[t], out)
 			}
@@ -182,7 +220,7 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 			return nr, err
 		}
 	}
-	if qerr != nil && !errors.Is(qerr, errPipelineAborted) {
+	if qerr != nil && !errors.Is(qerr, errPipelineAborted) && !errors.Is(qerr, errProbeDone) {
 		return nr, fmt.Errorf("cluster: node %d query: %w", node, qerr)
 	}
 
@@ -202,21 +240,26 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 	nr.ConsumerStall = time.Duration(consumerStall.Load())
 
 	// Ordered merge: batch seq order is record order, so the concatenated
-	// mesh matches the two-phase schedule's exactly.
+	// mesh matches the two-phase schedule's exactly. Triangle counts are
+	// summed first and the output grown once, so each batch's welded mesh
+	// expands directly into its final position — a single copy.
 	var all []batchOutput
 	for _, o := range outs {
 		all = append(all, o...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	mesh := &geom.Mesh{}
 	for _, o := range all {
 		nr.ActiveCells += o.cells
 		nr.Triangles += o.tris
-		if opts.KeepMeshes {
-			mesh.Append(o.mesh...)
-		}
 	}
 	if opts.KeepMeshes {
+		mesh := &geom.Mesh{}
+		mesh.Grow(nr.Triangles)
+		for _, o := range all {
+			o.mesh.ExpandInto(mesh)
+			o.mesh.Reset()
+			e.meshPool.Put(o.mesh)
+		}
 		nr.Mesh = mesh
 	}
 	return nr, nil

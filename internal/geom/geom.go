@@ -96,6 +96,17 @@ type Mesh struct {
 // Append adds triangles to the mesh.
 func (m *Mesh) Append(ts ...Triangle) { m.Tris = append(m.Tris, ts...) }
 
+// Grow ensures capacity for at least n more triangles, so a known-size bulk
+// append (the pipeline's ordered merge, a metacell's worth of cells) pays one
+// allocation instead of the doubling walk.
+func (m *Mesh) Grow(n int) {
+	if need := len(m.Tris) + n; need > cap(m.Tris) {
+		grown := make([]Triangle, len(m.Tris), need)
+		copy(grown, m.Tris)
+		m.Tris = grown
+	}
+}
+
 // Len returns the number of triangles.
 func (m *Mesh) Len() int { return len(m.Tris) }
 
@@ -118,6 +129,72 @@ func (m *Mesh) TotalArea() float64 {
 		a += float64(t.Area())
 	}
 	return a
+}
+
+// IndexedMesh is a welded triangle mesh: a vertex array plus index triples.
+// The extraction hot path emits one, interpolating each edge crossing once
+// and referencing it from every incident triangle — roughly 6× less vertex
+// data than the equivalent soup. ExpandSoup recovers the soup exactly
+// (marching cubes interpolates shared edges from identical inputs, so the
+// expansion is byte-identical to a soup built cell by cell).
+type IndexedMesh struct {
+	Verts []Vec3
+	Idx   []uint32 // triples, one per triangle corner
+}
+
+// Len returns the number of triangles.
+func (im *IndexedMesh) Len() int { return len(im.Idx) / 3 }
+
+// NumVerts returns the number of welded vertices.
+func (im *IndexedMesh) NumVerts() int { return len(im.Verts) }
+
+// Reset empties the mesh, keeping both allocations for reuse.
+func (im *IndexedMesh) Reset() {
+	im.Verts = im.Verts[:0]
+	im.Idx = im.Idx[:0]
+}
+
+// AppendVert adds a vertex and returns its index.
+func (im *IndexedMesh) AppendVert(p Vec3) uint32 {
+	id := uint32(len(im.Verts))
+	im.Verts = append(im.Verts, p)
+	return id
+}
+
+// AppendTri adds one index triple.
+func (im *IndexedMesh) AppendTri(a, b, c uint32) {
+	im.Idx = append(im.Idx, a, b, c)
+}
+
+// ExpandSoup converts the indexed mesh back to a triangle soup, in triangle
+// order.
+func (im *IndexedMesh) ExpandSoup() *Mesh {
+	out := &Mesh{}
+	im.ExpandInto(out)
+	return out
+}
+
+// ExpandInto appends the indexed mesh's triangles to dst, growing it once.
+// This is the single-copy path of the pipeline's ordered merge: per-batch
+// indexed meshes expand straight into the preallocated final soup.
+func (im *IndexedMesh) ExpandInto(dst *Mesh) {
+	dst.Grow(im.Len())
+	for i := 0; i+2 < len(im.Idx); i += 3 {
+		dst.Tris = append(dst.Tris, Triangle{
+			A: im.Verts[im.Idx[i]],
+			B: im.Verts[im.Idx[i+1]],
+			C: im.Verts[im.Idx[i+2]],
+		})
+	}
+}
+
+// Bounds returns the axis-aligned bounding box of the mesh's vertices.
+func (im *IndexedMesh) Bounds() AABB {
+	b := EmptyAABB()
+	for _, v := range im.Verts {
+		b = b.ExtendPoint(v)
+	}
+	return b
 }
 
 // AABB is an axis-aligned bounding box. Min > Max (component-wise) denotes the

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -28,6 +29,13 @@ type ServingRow struct {
 	ServedQPS float64
 	DirectQPS float64
 	Speedup   float64 // ServedQPS / DirectQPS
+
+	// Delivered geometry throughput (millions of triangles per second):
+	// every request counts its result's triangles whether extracted fresh,
+	// coalesced onto a neighbor, or served from cache, so cheaper cache
+	// misses show up here even when the hit rate is unchanged.
+	ServedMtriPerSec float64
+	DirectMtriPerSec float64
 
 	HitRate     float64 // (cache hits + coalesced) / requests
 	CacheHits   int64
@@ -76,11 +84,14 @@ func (w ServingWorkload) IsoOfLevel(perm []int, rank uint64) float32 {
 }
 
 // runClients drives n closed-loop clients issuing w.ReqPerClient requests
-// each through query, returning the wall time and every request latency.
-func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx context.Context, iso float32) error) (time.Duration, []time.Duration, error) {
+// each through query (which reports the triangles its response carried),
+// returning the wall time, every request latency, and the total triangles
+// delivered across all requests.
+func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx context.Context, iso float32) (int, error)) (time.Duration, []time.Duration, int64, error) {
 	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
 	lats := make([][]time.Duration, n)
 	errs := make([]error, n)
+	var tris atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for k := 0; k < n; k++ {
@@ -96,11 +107,13 @@ func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx c
 				}
 				iso := w.IsoOfLevel(perm, zipf.Uint64())
 				t0 := time.Now()
-				if err := query(ctx, iso); err != nil {
+				nt, err := query(ctx, iso)
+				if err != nil {
 					errs[k] = fmt.Errorf("harness: client %d request %d (iso %v): %w", k, i, iso, err)
 					return
 				}
 				lats[k] = append(lats[k], time.Since(t0))
+				tris.Add(int64(nt))
 			}
 		}(k)
 	}
@@ -108,7 +121,7 @@ func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx c
 	wall := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, 0, err
 		}
 	}
 	var all []time.Duration
@@ -116,7 +129,7 @@ func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx c
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return wall, all, nil
+	return wall, all, tris.Load(), nil
 }
 
 // ServingTable runs the serving experiment over the given client counts: the
@@ -140,16 +153,22 @@ func ServingTable(ctx context.Context, cfg RMConfig, procs int, clientCounts []i
 			c.QueueDepth = n // never shed the benchmark's own closed loop
 		}
 		srv := serve.NewServer(eng, c)
-		servedWall, lats, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) error {
-			_, err := srv.Query(ctx, 0, iso)
-			return err
+		servedWall, lats, servedTris, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) (int, error) {
+			resp, err := srv.Query(ctx, 0, iso)
+			if err != nil {
+				return 0, err
+			}
+			return resp.Result.Triangles, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		directWall, _, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) error {
-			_, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
-			return err
+		directWall, _, directTris, err := w.runClients(ctx, n, func(ctx context.Context, iso float32) (int, error) {
+			res, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
+			if err != nil {
+				return 0, err
+			}
+			return res.Triangles, nil
 		})
 		if err != nil {
 			return nil, err
@@ -157,16 +176,18 @@ func ServingTable(ctx context.Context, cfg RMConfig, procs int, clientCounts []i
 		st := srv.Stats()
 		total := n * w.ReqPerClient
 		row := ServingRow{
-			Clients:     n,
-			Requests:    total,
-			ServedQPS:   float64(total) / servedWall.Seconds(),
-			DirectQPS:   float64(total) / directWall.Seconds(),
-			HitRate:     st.HitRate(),
-			CacheHits:   st.CacheHits,
-			Coalesced:   st.Coalesced,
-			Extractions: st.Extractions,
-			P50:         lats[len(lats)/2],
-			P99:         lats[len(lats)*99/100],
+			Clients:          n,
+			Requests:         total,
+			ServedQPS:        float64(total) / servedWall.Seconds(),
+			DirectQPS:        float64(total) / directWall.Seconds(),
+			ServedMtriPerSec: float64(servedTris) / servedWall.Seconds() / 1e6,
+			DirectMtriPerSec: float64(directTris) / directWall.Seconds() / 1e6,
+			HitRate:          st.HitRate(),
+			CacheHits:        st.CacheHits,
+			Coalesced:        st.Coalesced,
+			Extractions:      st.Extractions,
+			P50:              lats[len(lats)/2],
+			P99:              lats[len(lats)*99/100],
 		}
 		if row.DirectQPS > 0 {
 			row.Speedup = row.ServedQPS / row.DirectQPS
@@ -182,10 +203,11 @@ func PrintServingTable(out io.Writer, procs int, w ServingWorkload, rows []Servi
 	fmt.Fprintf(out, "closed-loop clients, Zipf(%.2g) over %d isovalue levels, %d requests/client, %d nodes\n",
 		ww.ZipfS, ww.Levels, ww.ReqPerClient, procs)
 	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "clients\treqs\tserved q/s\tdirect q/s\tspeedup\thit rate\thits\tcoalesced\textractions\tp50\tp99\t")
+	fmt.Fprintln(tw, "clients\treqs\tserved q/s\tdirect q/s\tspeedup\tserved Mtri/s\tdirect Mtri/s\thit rate\thits\tcoalesced\textractions\tp50\tp99\t")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.1f×\t%.0f%%\t%d\t%d\t%d\t%s\t%s\t\n",
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.1f×\t%.1f\t%.1f\t%.0f%%\t%d\t%d\t%d\t%s\t%s\t\n",
 			r.Clients, r.Requests, r.ServedQPS, r.DirectQPS, r.Speedup,
+			r.ServedMtriPerSec, r.DirectMtriPerSec,
 			100*r.HitRate, r.CacheHits, r.Coalesced, r.Extractions,
 			fmtDur(r.P50), fmtDur(r.P99))
 	}

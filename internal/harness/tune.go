@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation H — pipeline auto-tuner: calibrated parameters vs the static
+// defaults vs a deliberately pessimal configuration, on the same engine.
+
+// TuneRow reports one pipeline configuration's extraction performance.
+type TuneRow struct {
+	Label         string
+	Threads       int
+	BatchRecords  int
+	PipelineDepth int
+
+	Wall          time.Duration // best-of-reps extraction wall time
+	MtriPerSec    float64       // triangles delivered per second at that wall
+	ProducerStall time.Duration // slowest node's producer stall
+	ConsumerStall time.Duration // slowest node's worker stall
+}
+
+// AblationTune calibrates the engine with Engine.AutoTune, then times three
+// configurations at the given isovalue: the tuned parameters, the static
+// defaults, and a pessimal corner of the tuner's search grid (single thread,
+// smallest batches, shallowest pipeline). Each configuration runs reps times
+// and the best wall is kept, so the table shows configuration effects rather
+// than scheduler noise.
+func AblationTune(ctx context.Context, cfg RMConfig, procs int, iso float32, reps int) ([]TuneRow, *cluster.TunedParams, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	eng, err := Engine(cfg, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tp, err := eng.AutoTune(ctx, iso)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: calibration: %w", err)
+	}
+	configs := []TuneRow{
+		{Label: "tuned", Threads: tp.Threads, BatchRecords: tp.BatchRecords, PipelineDepth: tp.PipelineDepth},
+		{Label: "default", Threads: 0, BatchRecords: cluster.DefaultBatchRecords, PipelineDepth: cluster.DefaultPipelineDepth},
+		{Label: "worst-case", Threads: 1, BatchRecords: 16, PipelineDepth: 1},
+	}
+	rows := make([]TuneRow, 0, len(configs))
+	for _, c := range configs {
+		row := c
+		for r := 0; r < reps; r++ {
+			res, err := eng.Extract(ctx, iso, cluster.Options{
+				Threads:       c.Threads,
+				BatchRecords:  c.BatchRecords,
+				PipelineDepth: c.PipelineDepth,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if row.Wall == 0 || res.Wall < row.Wall {
+				row.Wall = res.Wall
+				row.MtriPerSec = float64(res.Triangles) / res.Wall.Seconds() / 1e6
+				row.ProducerStall, row.ConsumerStall = 0, 0
+				for _, n := range res.PerNode {
+					if n.ProducerStall > row.ProducerStall {
+						row.ProducerStall = n.ProducerStall
+					}
+					if n.ConsumerStall > row.ConsumerStall {
+						row.ConsumerStall = n.ConsumerStall
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, &tp, nil
+}
+
+// PrintTuneAblation renders the auto-tuner comparison.
+func PrintTuneAblation(w io.Writer, iso float32, procs int, rows []TuneRow, tp *cluster.TunedParams) {
+	fmt.Fprintf(w, "calibration: %d probes in %s → threads=%d batch=%d depth=%d\n",
+		tp.Probes, fmtDur(tp.Wall), tp.Threads, tp.BatchRecords, tp.PipelineDepth)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "config\tthreads\tbatch\tdepth\twall\tMtri/s\tprod stall\tcons stall\t[iso=%.0f p=%d]\n", iso, procs)
+	for _, r := range rows {
+		th := fmt.Sprintf("%d", r.Threads)
+		if r.Threads == 0 {
+			th = "engine"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%.1f\t%s\t%s\t\n",
+			r.Label, th, r.BatchRecords, r.PipelineDepth,
+			fmtDur(r.Wall), r.MtriPerSec, fmtDur(r.ProducerStall), fmtDur(r.ConsumerStall))
+	}
+	tw.Flush()
+}

@@ -34,6 +34,37 @@ func BenchmarkMetacell(b *testing.B) {
 	b.ReportMetric(float64(tris), "triangles")
 }
 
+// BenchmarkMetacellIndexed measures the welded indexed-mesh path on the same
+// metacell as BenchmarkMetacell; -benchmem should report 0 allocs/op in
+// steady state.
+func BenchmarkMetacellIndexed(b *testing.B) {
+	g := volume.RichtmyerMeshkov(33, 33, 30, 250, 1)
+	l, cells := metacell.Extract(g, 9)
+	best := 0
+	for i, c := range cells {
+		if c.VMax-c.VMin > cells[best].VMax-cells[best].VMin {
+			best = i
+		}
+	}
+	m, err := metacell.DecodeRecord(l, cells[best].Record)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iso := (cells[best].VMin + cells[best].VMax) / 2
+	var w Welder
+	var mesh geom.IndexedMesh
+	w.Metacell(l, &m, iso, &mesh) // size the scratch before timing
+	b.ResetTimer()
+	tris := 0
+	for i := 0; i < b.N; i++ {
+		mesh.Reset()
+		w.Metacell(l, &m, iso, &mesh)
+		tris = mesh.Len()
+	}
+	b.ReportMetric(float64(tris), "triangles")
+	b.ReportMetric(float64(mesh.NumVerts()), "verts")
+}
+
 // BenchmarkGrid measures whole-volume marching cubes throughput.
 func BenchmarkGrid(b *testing.B) {
 	g := volume.RichtmyerMeshkov(65, 65, 60, 250, 1)

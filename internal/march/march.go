@@ -1,6 +1,8 @@
 package march
 
 import (
+	"math/bits"
+
 	"repro/internal/geom"
 	"repro/internal/metacell"
 	"repro/internal/volume"
@@ -23,18 +25,14 @@ func Config(v *[8]float32, iso float32) uint8 {
 // (intersected by the isosurface).
 func cell(v *[8]float32, origin geom.Vec3, iso float32, out *geom.Mesh) bool {
 	cfg := Config(v, iso)
-	tris := triTable[cfg]
-	if len(tris) == 0 {
+	n := int(triCount[cfg])
+	if n == 0 {
 		return false
 	}
 	// Interpolate each referenced edge's crossing point once.
 	var pts [12]geom.Vec3
-	var have uint16
-	for _, e := range tris {
-		if have&(1<<e) != 0 {
-			continue
-		}
-		have |= 1 << e
+	for mask := cutEdgeMask[cfg]; mask != 0; mask &= mask - 1 {
+		e := bits.TrailingZeros16(mask)
 		a, b := edgeCorners[e][0], edgeCorners[e][1]
 		va, vb := v[a], v[b]
 		t := (iso - va) / (vb - va) // va != vb: exactly one side is inside
@@ -42,9 +40,12 @@ func cell(v *[8]float32, origin geom.Vec3, iso float32, out *geom.Mesh) bool {
 		pb := geom.V(float32(cornerOffset[b][0]), float32(cornerOffset[b][1]), float32(cornerOffset[b][2]))
 		pts[e] = origin.Add(pa.Lerp(pb, t))
 	}
-	for i := 0; i+2 < len(tris); i += 3 {
-		out.Append(geom.Triangle{A: pts[tris[i]], B: pts[tris[i+1]], C: pts[tris[i+2]]})
+	tris := &triTable[cfg]
+	var ts [5]geom.Triangle
+	for i := 0; i < n; i++ {
+		ts[i] = geom.Triangle{A: pts[tris[3*i]], B: pts[tris[3*i+1]], C: pts[tris[3*i+2]]}
 	}
+	out.Append(ts[:n]...)
 	return true
 }
 
@@ -60,6 +61,11 @@ func CellAt(v *[8]float32, origin geom.Vec3, iso float32, out *geom.Mesh) bool {
 // Metacell triangulates every cell of a decoded metacell at the given
 // isovalue, appending triangles (in volume coordinates) to out. It returns
 // the number of active cells.
+//
+// This is the triangle-soup baseline: each cell interpolates its own copy of
+// every edge crossing. The streaming pipeline uses Welder.Metacell, whose
+// expanded output is byte-identical; this path is kept as the equivalence
+// reference and for callers that want a soup directly.
 //
 // Cells that extend past the volume boundary (possible only in truncated
 // edge metacells, where samples were clamp-padded) are skipped so no
@@ -99,6 +105,295 @@ func Metacell(l metacell.Layout, m *metacell.Meta, iso float32, out *geom.Mesh) 
 		}
 	}
 	return active
+}
+
+// Welder triangulates metacells into indexed meshes, welding shared-edge
+// vertices with rolling per-slab edge-index arrays: for the current pair of
+// z-planes it remembers, per grid edge, the index of the vertex already
+// interpolated there (x- and y-edge planes roll from slab to slab; z-edges
+// live between the planes). Each crossing is interpolated once per metacell
+// instead of once per incident cell (up to 4× for an edge shared by four
+// cells), and because the interpolation reads the same two samples with the
+// same lerp, ExpandSoup of the result is byte-identical to Metacell's soup.
+//
+// A Welder additionally classifies samples once per metacell into per-row
+// inside bitmasks, so cell configurations come from three shifts instead of
+// eight float compares and fully-inside/outside cell rows are skipped with
+// two mask tests.
+//
+// The zero value is ready to use; scratch arrays are sized on first use and
+// reused, so a long-lived Welder (one per pipeline worker) allocates nothing
+// in steady state. A Welder is not safe for concurrent use.
+type Welder struct {
+	span  int
+	masks []uint64 // per (dz*span+dy) sample row: bit dx set = sample >= iso
+
+	// Rolling edge-index planes, entries hold vertex index + 1 (0 = unset).
+	// xe/ye are indexed dy*span+dx for the crossing on the x-/y-aligned grid
+	// edge at (dx,dy) of the plane; ze likewise for the z-aligned edges
+	// between the two current planes.
+	xe0, xe1 []uint32 // x-edges in plane dz and dz+1
+	ye0, ye1 []uint32 // y-edges in plane dz and dz+1
+	ze       []uint32 // z-edges between the planes
+}
+
+// resize prepares the scratch arrays for a metacell span.
+func (w *Welder) resize(span int) {
+	if w.span == span {
+		return
+	}
+	w.span = span
+	w.masks = make([]uint64, span*span)
+	n := span * span
+	w.xe0, w.xe1 = make([]uint32, n), make([]uint32, n)
+	w.ye0, w.ye1 = make([]uint32, n), make([]uint32, n)
+	w.ze = make([]uint32, n)
+}
+
+func clearU32(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Metacell triangulates every cell of a decoded metacell, welding vertices
+// into out (an indexed mesh that may already hold earlier metacells'
+// geometry). It returns the number of active cells — the same count, and in
+// ExpandSoup form the same bytes, as the Metacell soup baseline.
+func (w *Welder) Metacell(l metacell.Layout, m *metacell.Meta, iso float32, out *geom.IndexedMesh) int {
+	span := l.Span
+	if span > 64 {
+		// Row masks need one bit per sample; fall back to the soup-equivalent
+		// per-cell classification for outsized spans (never the paper's 9).
+		return w.metacellWide(l, m, iso, out)
+	}
+	w.resize(span)
+	ox, oy, oz := l.Origin(m.ID)
+
+	// Cell extents, truncated at the volume boundary exactly as the soup
+	// baseline's break conditions do.
+	cx := minInt(span-1, l.Nx-1-ox)
+	cy := minInt(span-1, l.Ny-1-oy)
+	cz := minInt(span-1, l.Nz-1-oz)
+	if cx <= 0 || cy <= 0 || cz <= 0 {
+		return 0
+	}
+
+	// Pass 1: classify every sample row into an inside bitmask.
+	samples := m.Samples
+	for r := 0; r < span*span; r++ {
+		row := samples[r*span : (r+1)*span]
+		var mask uint64
+		for x, s := range row {
+			if s >= iso {
+				mask |= 1 << x
+			}
+		}
+		w.masks[r] = mask
+	}
+
+	xe0, xe1, ye0, ye1, ze := w.xe0, w.xe1, w.ye0, w.ye1, w.ze
+	clearU32(xe0)
+	clearU32(ye0)
+	active := 0
+	rowBits := (uint64(1) << (cx + 1)) - 1 // samples 0..cx participate in this row's cells
+	for dz := 0; dz < cz; dz++ {
+		clearU32(xe1)
+		clearU32(ye1)
+		clearU32(ze)
+		zf := float32(oz + dz)
+		for dy := 0; dy < cy; dy++ {
+			m00 := w.masks[dz*span+dy]
+			m10 := w.masks[dz*span+dy+1]
+			m01 := w.masks[(dz+1)*span+dy]
+			m11 := w.masks[(dz+1)*span+dy+1]
+			// Whole cell rows that are fully inside or fully outside produce
+			// no geometry: two mask tests retire span-1 cells.
+			if any := (m00 | m10 | m01 | m11) & rowBits; any == 0 {
+				continue
+			} else if all := m00 & m10 & m01 & m11 & rowBits; all == rowBits {
+				continue
+			}
+			yf := float32(oy + dy)
+			base := (dz*span + dy) * span
+			erow := dy * span
+			for dx := 0; dx < cx; dx++ {
+				cfg := uint8(m00>>dx&3) | uint8(m10>>dx&3)<<2 | uint8(m01>>dx&3)<<4 | uint8(m11>>dx&3)<<6
+				n := int(triCount[cfg])
+				if n == 0 {
+					continue
+				}
+				active++
+				i := base + dx
+				origin := geom.V(float32(ox+dx), yf, zf)
+				var vid [12]uint32
+				for mask := cutEdgeMask[cfg]; mask != 0; mask &= mask - 1 {
+					e := bits.TrailingZeros16(mask)
+					var slot *uint32
+					switch e {
+					case 0:
+						slot = &xe0[erow+dx]
+					case 1:
+						slot = &xe0[erow+span+dx]
+					case 2:
+						slot = &xe1[erow+dx]
+					case 3:
+						slot = &xe1[erow+span+dx]
+					case 4:
+						slot = &ye0[erow+dx]
+					case 5:
+						slot = &ye0[erow+dx+1]
+					case 6:
+						slot = &ye1[erow+dx]
+					case 7:
+						slot = &ye1[erow+dx+1]
+					case 8:
+						slot = &ze[erow+dx]
+					case 9:
+						slot = &ze[erow+dx+1]
+					case 10:
+						slot = &ze[erow+span+dx]
+					case 11:
+						slot = &ze[erow+span+dx+1]
+					}
+					if *slot != 0 {
+						vid[e] = *slot - 1
+						continue
+					}
+					a, b := edgeCorners[e][0], edgeCorners[e][1]
+					va := samples[i+sampleOffset(span, a)]
+					vb := samples[i+sampleOffset(span, b)]
+					t := (iso - va) / (vb - va)
+					pa := geom.V(float32(cornerOffset[a][0]), float32(cornerOffset[a][1]), float32(cornerOffset[a][2]))
+					pb := geom.V(float32(cornerOffset[b][0]), float32(cornerOffset[b][1]), float32(cornerOffset[b][2]))
+					id := out.AppendVert(origin.Add(pa.Lerp(pb, t)))
+					*slot = id + 1
+					vid[e] = id
+				}
+				tris := &triTable[cfg]
+				for k := 0; k < n; k++ {
+					out.AppendTri(vid[tris[3*k]], vid[tris[3*k+1]], vid[tris[3*k+2]])
+				}
+			}
+		}
+		// Roll the slab: plane dz+1's x/y edges become plane dz's.
+		xe0, xe1 = xe1, xe0
+		ye0, ye1 = ye1, ye0
+	}
+	return active
+}
+
+// metacellWide is the welding path for spans too large for single-word row
+// masks: identical slab rolling, but cell configurations come from per-cell
+// sample compares like the soup baseline.
+func (w *Welder) metacellWide(l metacell.Layout, m *metacell.Meta, iso float32, out *geom.IndexedMesh) int {
+	span := l.Span
+	w.resize(span)
+	ox, oy, oz := l.Origin(m.ID)
+	cx := minInt(span-1, l.Nx-1-ox)
+	cy := minInt(span-1, l.Ny-1-oy)
+	cz := minInt(span-1, l.Nz-1-oz)
+	if cx <= 0 || cy <= 0 || cz <= 0 {
+		return 0
+	}
+	samples := m.Samples
+	xe0, xe1, ye0, ye1, ze := w.xe0, w.xe1, w.ye0, w.ye1, w.ze
+	clearU32(xe0)
+	clearU32(ye0)
+	active := 0
+	var v [8]float32
+	for dz := 0; dz < cz; dz++ {
+		clearU32(xe1)
+		clearU32(ye1)
+		clearU32(ze)
+		zf := float32(oz + dz)
+		for dy := 0; dy < cy; dy++ {
+			yf := float32(oy + dy)
+			base := (dz*span + dy) * span
+			erow := dy * span
+			for dx := 0; dx < cx; dx++ {
+				i := base + dx
+				v[0] = samples[i]
+				v[1] = samples[i+1]
+				v[2] = samples[i+span]
+				v[3] = samples[i+span+1]
+				v[4] = samples[i+span*span]
+				v[5] = samples[i+span*span+1]
+				v[6] = samples[i+span*span+span]
+				v[7] = samples[i+span*span+span+1]
+				cfg := Config(&v, iso)
+				n := int(triCount[cfg])
+				if n == 0 {
+					continue
+				}
+				active++
+				origin := geom.V(float32(ox+dx), yf, zf)
+				var vid [12]uint32
+				for mask := cutEdgeMask[cfg]; mask != 0; mask &= mask - 1 {
+					e := bits.TrailingZeros16(mask)
+					var slot *uint32
+					switch e {
+					case 0:
+						slot = &xe0[erow+dx]
+					case 1:
+						slot = &xe0[erow+span+dx]
+					case 2:
+						slot = &xe1[erow+dx]
+					case 3:
+						slot = &xe1[erow+span+dx]
+					case 4:
+						slot = &ye0[erow+dx]
+					case 5:
+						slot = &ye0[erow+dx+1]
+					case 6:
+						slot = &ye1[erow+dx]
+					case 7:
+						slot = &ye1[erow+dx+1]
+					case 8:
+						slot = &ze[erow+dx]
+					case 9:
+						slot = &ze[erow+dx+1]
+					case 10:
+						slot = &ze[erow+span+dx]
+					case 11:
+						slot = &ze[erow+span+dx+1]
+					}
+					if *slot != 0 {
+						vid[e] = *slot - 1
+						continue
+					}
+					a, b := edgeCorners[e][0], edgeCorners[e][1]
+					va, vb := v[a], v[b]
+					t := (iso - va) / (vb - va)
+					pa := geom.V(float32(cornerOffset[a][0]), float32(cornerOffset[a][1]), float32(cornerOffset[a][2]))
+					pb := geom.V(float32(cornerOffset[b][0]), float32(cornerOffset[b][1]), float32(cornerOffset[b][2]))
+					id := out.AppendVert(origin.Add(pa.Lerp(pb, t)))
+					*slot = id + 1
+					vid[e] = id
+				}
+				tris := &triTable[cfg]
+				for k := 0; k < n; k++ {
+					out.AppendTri(vid[tris[3*k]], vid[tris[3*k+1]], vid[tris[3*k+2]])
+				}
+			}
+		}
+		xe0, xe1 = xe1, xe0
+		ye0, ye1 = ye1, ye0
+	}
+	return active
+}
+
+// sampleOffset returns the flat sample-index offset of cube corner c for a
+// metacell of the given span.
+func sampleOffset(span, c int) int {
+	return (c & 1) + span*(c>>1&1) + span*span*(c>>2&1)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Grid triangulates an entire in-memory volume directly, bypassing the

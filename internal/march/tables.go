@@ -44,10 +44,23 @@ var faceCorners = [6][4]int{
 	{4, 5, 7, 6}, // z = 1
 }
 
-// triTable[config] holds the generated triangulation: a flat list of edge
-// indices, three per triangle. A configuration bit c is set when corner c's
-// value is >= the isovalue ("inside").
-var triTable [256][]uint8
+// The generated triangulation is stored flat so the per-cell hot path loads
+// plain arrays instead of chasing slice headers:
+//
+//   - triTable[config] is a fixed 16-entry row of edge indices, three per
+//     triangle (the generator never exceeds 5 triangles = 15 entries);
+//   - triCount[config] is the number of triangles in the row;
+//   - cutEdgeMask[config] has bit e set when the row references edge e, so
+//     the interpolation loop walks set bits instead of re-scanning the row
+//     with seen-edge bookkeeping.
+//
+// A configuration bit c is set when corner c's value is >= the isovalue
+// ("inside").
+var (
+	triTable    [256][16]uint8
+	triCount    [256]uint8
+	cutEdgeMask [256]uint16
+)
 
 // edgeBetween maps an unordered corner pair to its edge index, or -1.
 var edgeBetween [8][8]int8
@@ -63,7 +76,16 @@ func init() {
 		edgeBetween[c[1]][c[0]] = int8(e)
 	}
 	for config := 1; config < 255; config++ {
-		triTable[config] = triangulateConfig(uint8(config))
+		tris := triangulateConfig(uint8(config))
+		if len(tris) > len(triTable[config]) {
+			panic(fmt.Sprintf("march: config %08b generated %d entries, flat table holds %d",
+				config, len(tris), len(triTable[config])))
+		}
+		copy(triTable[config][:], tris)
+		triCount[config] = uint8(len(tris) / 3)
+		for _, e := range tris {
+			cutEdgeMask[config] |= 1 << e
+		}
 	}
 }
 
@@ -212,8 +234,12 @@ func orientAndFan(config uint8, cycle []int8) []uint8 {
 
 // TriangleCount returns the number of triangles the table produces for a
 // configuration.
-func TriangleCount(config uint8) int { return len(triTable[config]) / 3 }
+func TriangleCount(config uint8) int { return int(triCount[config]) }
 
 // TableTriangles exposes the generated triangle list (edge-index triples) of
 // a configuration, primarily for tests and inspection.
-func TableTriangles(config uint8) []uint8 { return triTable[config] }
+func TableTriangles(config uint8) []uint8 { return triTable[config][:3*triCount[config]] }
+
+// CutEdges returns the mask of edges a configuration's triangulation
+// references (bit e set = edge e is cut and used).
+func CutEdges(config uint8) uint16 { return cutEdgeMask[config] }

@@ -52,6 +52,56 @@ func Index(m *geom.Mesh) *IndexedMesh {
 	return im
 }
 
+// IndexFromWelded converts a pipeline-welded geom.IndexedMesh into an
+// interchange mesh with the same semantics as Index: degenerate and collapsed
+// faces are dropped, and coordinates are re-welded globally. The pipeline's
+// weld is per metacell (and per edge), so duplicates remain across metacell
+// boundaries and at exact corner hits; deduplicating only those leftovers
+// against a coordinate map is much cheaper than welding the full expanded
+// soup vertex by vertex. Index(welded.ExpandSoup()) produces the identical
+// mesh — the round-trip test holds meshio to that.
+func IndexFromWelded(welded *geom.IndexedMesh) *IndexedMesh {
+	im := &IndexedMesh{}
+	lookup := make(map[geom.Vec3]uint32, len(welded.Verts))
+	// remap[i] is welded vertex i's index in the output (deduplicated, and
+	// assigned lazily in first-reference order so face-visit order matches
+	// Index over the expanded soup).
+	remap := make([]uint32, len(welded.Verts))
+	for i := range remap {
+		remap[i] = ^uint32(0)
+	}
+	idOf := func(wi uint32) uint32 {
+		if id := remap[wi]; id != ^uint32(0) {
+			return id
+		}
+		p := welded.Verts[wi]
+		id, ok := lookup[p]
+		if !ok {
+			id = uint32(len(im.Verts))
+			im.Verts = append(im.Verts, p)
+			lookup[p] = id
+		}
+		remap[wi] = id
+		return id
+	}
+	for i := 0; i+2 < len(welded.Idx); i += 3 {
+		t := geom.Triangle{
+			A: welded.Verts[welded.Idx[i]],
+			B: welded.Verts[welded.Idx[i+1]],
+			C: welded.Verts[welded.Idx[i+2]],
+		}
+		if t.Degenerate() {
+			continue
+		}
+		a, b, c := idOf(welded.Idx[i]), idOf(welded.Idx[i+1]), idOf(welded.Idx[i+2])
+		if a == b || b == c || a == c {
+			continue
+		}
+		im.Faces = append(im.Faces, [3]uint32{a, b, c})
+	}
+	return im
+}
+
 // NumVerts returns the vertex count.
 func (im *IndexedMesh) NumVerts() int { return len(im.Verts) }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/march"
+	"repro/internal/metacell"
 	"repro/internal/volume"
 )
 
@@ -168,5 +169,63 @@ func TestEmptyMesh(t *testing.T) {
 	var buf bytes.Buffer
 	if err := im.WriteOBJ(&buf); err != nil {
 		t.Error(err)
+	}
+}
+
+// weldedSphere extracts the sphere through the pipeline's welded path so the
+// IndexFromWelded tests exercise real multi-metacell meshes (internal welds,
+// cross-metacell duplicates, corner hits).
+func weldedSphere(t *testing.T) *geom.IndexedMesh {
+	t.Helper()
+	l, cells := metacell.Extract(volume.Sphere(20), 9)
+	var w march.Welder
+	welded := &geom.IndexedMesh{}
+	for _, c := range cells {
+		m, err := metacell.DecodeRecord(l, c.Record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Metacell(l, &m, 128, welded)
+	}
+	if welded.Len() == 0 {
+		t.Fatal("no welded sphere mesh")
+	}
+	return welded
+}
+
+func TestIndexFromWeldedMatchesIndex(t *testing.T) {
+	welded := weldedSphere(t)
+	fast := IndexFromWelded(welded)
+	ref := Index(welded.ExpandSoup())
+	if len(fast.Verts) != len(ref.Verts) || len(fast.Faces) != len(ref.Faces) {
+		t.Fatalf("IndexFromWelded: %d verts / %d faces, Index(ExpandSoup): %d / %d",
+			len(fast.Verts), len(fast.Faces), len(ref.Verts), len(ref.Faces))
+	}
+	for i := range ref.Verts {
+		if fast.Verts[i] != ref.Verts[i] {
+			t.Fatalf("vertex %d: %v vs %v", i, fast.Verts[i], ref.Verts[i])
+		}
+	}
+	for i := range ref.Faces {
+		if fast.Faces[i] != ref.Faces[i] {
+			t.Fatalf("face %d: %v vs %v", i, fast.Faces[i], ref.Faces[i])
+		}
+	}
+}
+
+func TestIndexFromWeldedTopology(t *testing.T) {
+	im := IndexFromWelded(weldedSphere(t))
+	if !im.IsClosed() {
+		t.Error("welded sphere not closed after cross-metacell dedup")
+	}
+	if chi := im.EulerCharacteristic(); chi != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", chi)
+	}
+}
+
+func TestIndexFromWeldedEmpty(t *testing.T) {
+	im := IndexFromWelded(&geom.IndexedMesh{})
+	if im.NumVerts() != 0 || im.NumFaces() != 0 {
+		t.Errorf("empty welded mesh produced %d verts / %d faces", im.NumVerts(), im.NumFaces())
 	}
 }

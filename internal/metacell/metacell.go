@@ -186,7 +186,9 @@ func DecodeRecord(l Layout, rec []byte) (Meta, error) {
 }
 
 // DecodeRecordInto parses rec into m, reusing m.Samples if it has the right
-// length.
+// length. The sample loops are specialized per scalar format — the format is
+// fixed for a layout, so the hot path must not re-dispatch on it once per
+// sample.
 func DecodeRecordInto(l Layout, rec []byte, m *Meta) error {
 	if len(rec) != l.RecordSize() {
 		return fmt.Errorf("metacell: record size %d, layout wants %d", len(rec), l.RecordSize())
@@ -198,10 +200,23 @@ func DecodeRecordInto(l Layout, rec []byte, m *Meta) error {
 	m.ID = binary.LittleEndian.Uint32(rec)
 	m.VMin = getScalar(rec[4:], l.Fmt)
 	w := l.Fmt.Bytes()
-	off := 4 + w
-	for i := 0; i < n; i++ {
-		m.Samples[i] = getScalar(rec[off:], l.Fmt)
-		off += w
+	body := rec[4+w : 4+w+n*w]
+	out := m.Samples
+	switch l.Fmt {
+	case volume.U8:
+		for i, b := range body {
+			out[i] = float32(b)
+		}
+	case volume.U16:
+		for i := range out {
+			out[i] = float32(binary.LittleEndian.Uint16(body[2*i:]))
+		}
+	case volume.F32:
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+	default:
+		panic("metacell: unknown format")
 	}
 	return nil
 }
