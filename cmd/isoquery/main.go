@@ -5,6 +5,7 @@
 // Example:
 //
 //	isoquery -data /tmp/rm250 -iso 190
+//	isoquery -data /tmp/rm250 -iso 190 -trace   # + per-stage waterfall
 package main
 
 import (
@@ -27,9 +28,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isoquery: ")
 	var (
-		data = flag.String("data", "", "preprocessed dataset directory (required)")
-		iso  = flag.Float64("iso", 190, "isovalue to extract")
-		mesh = flag.String("mesh", "", "optional mesh output path (.obj/.stl/.ply)")
+		data  = flag.String("data", "", "preprocessed dataset directory (required)")
+		iso   = flag.Float64("iso", 190, "isovalue to extract")
+		mesh  = flag.String("mesh", "", "optional mesh output path (.obj/.stl/.ply)")
+		trace = flag.Bool("trace", false, "print the extraction's per-stage waterfall")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -44,7 +46,7 @@ func main() {
 	}
 	defer eng.Close()
 
-	res, err := eng.Extract(ctx, float32(*iso), cluster.Options{KeepMeshes: *mesh != ""})
+	res, err := eng.Extract(ctx, float32(*iso), cluster.Options{KeepMeshes: *mesh != "", Trace: *trace})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +63,10 @@ func main() {
 			n.TriWall.Round(time.Microsecond))
 	}
 	tw.Flush()
+
+	if res.Trace != nil {
+		fmt.Printf("\nstage waterfall (wall %v):\n%s", res.Trace.Wall.Round(time.Microsecond), res.Trace)
+	}
 
 	if *mesh != "" {
 		var soup geom.Mesh

@@ -10,11 +10,17 @@
 //	isoserve -size small -clients 32 -qps 200 -duration 10s  # open loop
 //	isoserve -size small -clients 32 -direct                 # uncached baseline
 //	isoserve -size small -clients 32 -compare                # served vs direct table
+//	isoserve -size small -clients 32 -listen :9090           # + /metrics, /statusz, pprof
 //
 // The closed loop reports throughput and latency percentiles plus the
 // server's hit/coalesce/eviction counters; the open loop additionally sheds
-// load (ErrSaturated) once the admission queue fills. Ctrl-C cancels the run
-// gracefully through every in-flight extraction.
+// load (ErrSaturated) once the admission queue fills. -listen mounts the
+// observability handler (Prometheus /metrics, JSON /statusz, /debug/pprof)
+// over a registry shared by the engine and the server, and keeps serving it
+// after the load run finishes so the final state can be scraped; -trace
+// prints the stage waterfall of the first extraction; -statslog emits a
+// periodic one-line metrics digest. Ctrl-C cancels the run gracefully
+// through every in-flight extraction.
 package main
 
 import (
@@ -24,15 +30,17 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -62,6 +70,10 @@ func main() {
 
 		direct  = flag.Bool("direct", false, "bypass the server: every request is a raw Engine.Extract")
 		compare = flag.Bool("compare", false, "closed-loop served-vs-direct comparison table")
+
+		listen   = flag.String("listen", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :9090)")
+		trace    = flag.Bool("trace", false, "record stage traces; print the first extraction's waterfall")
+		statslog = flag.Duration("statslog", 0, "log a one-line metrics digest at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *zipfS <= 1 {
@@ -80,6 +92,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// One registry spans every layer: the engine's pipeline histograms, the
+	// device read counters, and the server's request metrics land side by
+	// side on the same /metrics page.
+	reg := obs.NewRegistry()
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics (also /statusz, /debug/pprof)", ln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: obs.NewHandler(reg)}).Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	if *statslog > 0 {
+		go obs.LogLoop(ctx, reg, *statslog, log.Printf)
+	}
+
 	cfg := harness.DefaultRM()
 	if *size == "small" {
 		cfg = harness.Small()
@@ -97,6 +129,8 @@ func main() {
 		QueueDepth:  *queueDepth,
 		CacheBytes:  *cacheBytes,
 		IsoQuantum:  float32(*quantum),
+		Metrics:     reg,
+		Trace:       *trace,
 	}
 	if scfg.QueueDepth == 0 {
 		scfg.QueueDepth = *clients
@@ -119,24 +153,36 @@ func main() {
 	}
 
 	log.Printf("preprocessing %d×%d×%d on %d nodes…", cfg.NX, cfg.NY, cfg.NZ, *procs)
-	eng, err := cluster.Build(harness.Volume(cfg), cluster.Config{Procs: *procs, ThreadsPerNode: *threads})
+	eng, err := cluster.Build(harness.Volume(cfg), cluster.Config{Procs: *procs, ThreadsPerNode: *threads, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	var firstTrace atomic.Pointer[obs.Trace]
+	keepTrace := func(tr *obs.Trace) {
+		if tr != nil {
+			firstTrace.CompareAndSwap(nil, tr)
+		}
+	}
 	var query func(ctx context.Context, iso float32) error
 	label := "served"
 	if *direct {
 		label = "direct (no server)"
 		query = func(ctx context.Context, iso float32) error {
-			_, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true})
+			res, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true, Trace: *trace})
+			if err == nil {
+				keepTrace(res.Trace)
+			}
 			return err
 		}
 	} else {
 		srv := serve.NewServer(eng, scfg)
 		defer func() { printStats(srv.Stats()) }()
 		query = func(ctx context.Context, iso float32) error {
-			_, err := srv.Query(ctx, 0, iso)
+			resp, err := srv.Query(ctx, 0, iso)
+			if err == nil && resp.Source == serve.SourceExtracted {
+				keepTrace(resp.Trace)
+			}
 			return err
 		}
 	}
@@ -152,17 +198,27 @@ func main() {
 		res = closedLoop(ctx, *clients, w, query)
 	}
 	res.print()
+	if tr := firstTrace.Load(); tr != nil {
+		fmt.Printf("\nfirst extraction, stage waterfall (wall %v):\n%s", tr.Wall.Round(time.Microsecond), tr)
+	}
 	if ctx.Err() != nil {
 		log.Print("interrupted — partial results above")
+		return
+	}
+	if *listen != "" {
+		log.Printf("run complete — still serving metrics on %s, Ctrl-C to exit", *listen)
+		<-ctx.Done()
 	}
 }
 
-// runResult aggregates one load run.
+// runResult aggregates one load run. Served-request latencies go into an
+// obs histogram — constant memory for any run length, and the same quantile
+// math the service exports on /metrics.
 type runResult struct {
 	wall                       time.Duration
 	served, rejected, canceled int64
 	failed                     int64
-	lats                       []time.Duration // served requests only
+	lats                       *obs.Histogram // served requests only
 }
 
 type recorder struct {
@@ -176,7 +232,10 @@ func (r *recorder) record(lat time.Duration, err error) {
 	switch {
 	case err == nil:
 		r.res.served++
-		r.res.lats = append(r.res.lats, lat)
+		if r.res.lats == nil {
+			r.res.lats = obs.NewHistogram()
+		}
+		r.res.lats.Observe(lat)
 	case errors.Is(err, serve.ErrSaturated):
 		r.res.rejected++
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -278,14 +337,12 @@ func (r runResult) print() {
 	fmt.Printf("\n%d requests in %v: %d served (%.1f q/s), %d shed, %d canceled, %d failed\n",
 		total, r.wall.Round(time.Millisecond), r.served,
 		float64(r.served)/r.wall.Seconds(), r.rejected, r.canceled, r.failed)
-	if len(r.lats) == 0 {
+	if r.lats == nil || r.lats.Count() == 0 {
 		return
 	}
-	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
-	pct := func(p int) time.Duration { return r.lats[min(len(r.lats)*p/100, len(r.lats)-1)] }
 	fmt.Printf("latency p50 %v · p90 %v · p99 %v · max %v\n",
-		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond),
-		pct(99).Round(time.Microsecond), r.lats[len(r.lats)-1].Round(time.Microsecond))
+		r.lats.Quantile(0.50).Round(time.Microsecond), r.lats.Quantile(0.90).Round(time.Microsecond),
+		r.lats.Quantile(0.99).Round(time.Microsecond), r.lats.Max().Round(time.Microsecond))
 }
 
 func printStats(st serve.Stats) {

@@ -1,0 +1,28 @@
+package blockio
+
+import "time"
+
+// observedDevice wraps a Device and reports every ReadAt's payload size and
+// latency to a callback — the hook the observability layer uses to build
+// read-latency histograms without blockio depending on any metrics package.
+type observedDevice struct {
+	Device
+	observe func(bytes int, d time.Duration)
+}
+
+// WithReadObserver returns dev with every ReadAt reported to observe
+// (payload bytes, wall latency). observe runs on the reading goroutine and
+// must be cheap and concurrency-safe; a nil observe returns dev unchanged.
+func WithReadObserver(dev Device, observe func(bytes int, d time.Duration)) Device {
+	if observe == nil {
+		return dev
+	}
+	return &observedDevice{Device: dev, observe: observe}
+}
+
+func (o *observedDevice) ReadAt(p []byte, off int64) error {
+	t0 := time.Now()
+	err := o.Device.ReadAt(p, off)
+	o.observe(len(p), time.Since(t0))
+	return err
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/march"
 	"repro/internal/metacell"
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
 
@@ -54,6 +55,11 @@ type Config struct {
 	// animation, time-varying browsing, isovalue scans — serve hot index and
 	// brick blocks from memory. Stats report the hits and misses.
 	CacheBlocks int
+	// Metrics, when set, instruments the engine into the registry:
+	// extraction/pipeline histograms and counters under cluster_*, device
+	// read latency under blockio_* (see Engine.EnableMetrics). Nil leaves the
+	// engine uninstrumented at zero record-path cost.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() error {
@@ -96,6 +102,10 @@ type Engine struct {
 	// on first AutoTune use (see tune.go).
 	tuneMu sync.Mutex
 	tuned  *TunedParams
+
+	// met holds the pre-resolved metric handles when the engine is
+	// instrumented (Config.Metrics or EnableMetrics); nil records nothing.
+	met *engineMetrics
 
 	// Preprocessing statistics.
 	TotalMetacells   int   // non-constant metacells kept
@@ -197,6 +207,7 @@ func buildFromCells(l metacell.Layout, cells []metacell.Cell, cfg Config) (*Engi
 			e.devs[i] = blockio.NewCache(e.devs[i], cfg.BlockSize, cfg.CacheBlocks)
 		}
 	}
+	e.EnableMetrics(cfg.Metrics)
 	return e, nil
 }
 
@@ -261,6 +272,10 @@ type NodeResult struct {
 	ConsumerStall     time.Duration // worker time blocked on an empty pipeline
 
 	Mesh *geom.Mesh // nil unless Options.KeepMeshes
+
+	// spans holds this node's stage-trace spans when Options.Trace is set;
+	// Extract merges them into Result.Trace.
+	spans []obs.Span
 }
 
 // Result reports a full parallel extraction.
@@ -271,6 +286,7 @@ type Result struct {
 	Active    int           // total active metacells
 	Triangles int           // total triangles
 	Tuned     *TunedParams  // the calibrated parameters used (nil unless Options.AutoTune)
+	Trace     *obs.Trace    // per-stage spans of every node (nil unless Options.Trace)
 }
 
 // MaxNodeTime returns the slowest node's modeled time (I/O model +
@@ -319,6 +335,12 @@ type Options struct {
 	// values override any set here, are reported in Result.Tuned, and are
 	// cached on the engine so only the first extraction pays for calibration.
 	AutoTune bool
+	// Trace records a per-stage span trace of the extraction (index query +
+	// block read, stalls, decode, march/weld, merge — one lane per pipeline
+	// actor) into Result.Trace, renderable with Trace.Waterfall. Tracing
+	// costs two extra clock reads per record, so it is per-request opt-in,
+	// not an always-on metric.
+	Trace bool
 
 	// probeBatches, when > 0, stops the streaming producer after that many
 	// batches — the auto-tuner's calibration hook.
@@ -393,6 +415,17 @@ func (e *Engine) Extract(ctx context.Context, iso float32, opts Options) (*Resul
 		res.Active += res.PerNode[i].ActiveMetacells
 		res.Triangles += res.PerNode[i].Triangles
 	}
+	if opts.Trace {
+		// Node goroutines start together, so per-node span offsets share the
+		// extraction origin to within scheduler noise.
+		tr := &obs.Trace{Wall: res.Wall}
+		for i := range res.PerNode {
+			tr.Spans = append(tr.Spans, res.PerNode[i].spans...)
+			res.PerNode[i].spans = nil
+		}
+		res.Trace = tr
+	}
+	e.met.recordExtract(res)
 	return res, nil
 }
 
@@ -494,6 +527,12 @@ func (e *Engine) extractNodeTwoPhase(ctx context.Context, node int, iso float32,
 	nr.Triangles = mesh.Len()
 	if opts.KeepMeshes {
 		nr.Mesh = mesh
+	}
+	if opts.Trace {
+		lane := fmt.Sprintf("n%d", node)
+		nr.spans = append(nr.spans,
+			obs.Span{Lane: lane, Name: "query+read", Start: 0, Dur: nr.AMCWall},
+			obs.Span{Lane: lane, Name: "march", Start: nr.AMCWall, Dur: nr.TriWall})
 	}
 	return nr, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/march"
 	"repro/internal/metacell"
+	"repro/internal/obs"
 )
 
 // errPipelineAborted is what the producer returns from its emit callback once
@@ -55,12 +56,25 @@ func (e *Engine) getBatchMesh() *geom.IndexedMesh {
 // pipeline worker's steady-state body: once the caller's scratch (w, m, out)
 // has warmed up it must not allocate — TestWeldBatchZeroAllocSteadyState is
 // the regression gate.
-func weldBatch(l metacell.Layout, buf []byte, nrec, recSize int, iso float32, w *march.Welder, m *metacell.Meta, out *geom.IndexedMesh) (int, error) {
+//
+// decodeNS, when non-nil, accumulates the nanoseconds spent in record decode
+// so a trace can split the worker's busy time into decode and march/weld
+// stages; nil (the untraced default) costs one pointer check per record.
+func weldBatch(l metacell.Layout, buf []byte, nrec, recSize int, iso float32, w *march.Welder, m *metacell.Meta, out *geom.IndexedMesh, decodeNS *int64) (int, error) {
 	cells := 0
 	for r := 0; r < nrec; r++ {
 		rec := buf[r*recSize : (r+1)*recSize]
-		if err := metacell.DecodeRecordInto(l, rec, m); err != nil {
-			return cells, err
+		if decodeNS == nil {
+			if err := metacell.DecodeRecordInto(l, rec, m); err != nil {
+				return cells, err
+			}
+		} else {
+			t0 := time.Now()
+			err := metacell.DecodeRecordInto(l, rec, m)
+			*decodeNS += time.Since(t0).Nanoseconds()
+			if err != nil {
+				return cells, err
+			}
 		}
 		cells += w.Metacell(l, m, iso, out)
 	}
@@ -161,8 +175,12 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 	// remaining workers drain and exit — no goroutine outlives this call.
 	outs := make([][]batchOutput, threads)
 	werrs := make([]error, threads)
-	busy := make([]time.Duration, threads) // per-worker triangulation time
-	var consumerStall atomic.Int64         // nanoseconds
+	busy := make([]time.Duration, threads)  // per-worker triangulation time
+	stall := make([]time.Duration, threads) // per-worker time blocked on an empty pipeline
+	var decode []int64                      // per-worker decode nanoseconds, traced runs only
+	if opts.Trace {
+		decode = make([]int64, threads)
+	}
 	var wgWork sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wgWork.Add(1)
@@ -170,11 +188,15 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 			defer wgWork.Done()
 			var m metacell.Meta
 			var w march.Welder
+			var decodeNS *int64
+			if opts.Trace {
+				decodeNS = &decode[t]
+			}
 			scratch := &geom.IndexedMesh{} // reused every batch when meshes are discarded
 			for {
 				tw := time.Now()
 				sb, ok := <-work
-				consumerStall.Add(int64(time.Since(tw)))
+				stall[t] += time.Since(tw)
 				if !ok {
 					return
 				}
@@ -187,8 +209,12 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 					im = e.getBatchMesh()
 				}
 				im.Reset()
-				cells, err := weldBatch(e.Layout, sb.buf, sb.nrec, recSize, iso, &w, &m, im)
-				busy[t] += time.Since(tb)
+				cells, err := weldBatch(e.Layout, sb.buf, sb.nrec, recSize, iso, &w, &m, im, decodeNS)
+				batchDur := time.Since(tb)
+				busy[t] += batchDur
+				if e.met != nil {
+					e.met.batchWeld.Observe(batchDur)
+				}
 				buffered.Add(-int64(len(sb.buf)))
 				free <- sb.buf[:cap(sb.buf)]
 				if err != nil {
@@ -237,12 +263,15 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 	nr.IOModelTime = e.Disk.Time(nr.IOStats)
 	nr.PeakBufferedBytes = peakBuffered.Load()
 	nr.ProducerStall = producerStall
-	nr.ConsumerStall = time.Duration(consumerStall.Load())
+	for _, s := range stall {
+		nr.ConsumerStall += s
+	}
 
 	// Ordered merge: batch seq order is record order, so the concatenated
 	// mesh matches the two-phase schedule's exactly. Triangle counts are
 	// summed first and the output grown once, so each batch's welded mesh
 	// expands directly into its final position — a single copy.
+	mergeStart := time.Since(start)
 	var all []batchOutput
 	for _, o := range outs {
 		all = append(all, o...)
@@ -261,6 +290,38 @@ func (e *Engine) extractNodeStreaming(ctx context.Context, node int, iso float32
 			e.meshPool.Put(o.mesh)
 		}
 		nr.Mesh = mesh
+	}
+
+	if opts.Trace {
+		// One lane per pipeline actor; within a lane spans are laid end to
+		// end in stage order, so each lane's durations sum to exactly the
+		// time that actor has accounted for (the trace property tests rely on
+		// this). Busy and stall alternate in reality; the aggregate layout
+		// trades that interleaving for constant span count.
+		prod := fmt.Sprintf("n%d/prod", node)
+		prodBusy := amcWall - producerStall
+		nr.spans = append(nr.spans,
+			obs.Span{Lane: prod, Name: "query+read", Start: 0, Dur: prodBusy},
+			obs.Span{Lane: prod, Name: "stall", Start: prodBusy, Dur: producerStall})
+		for t := 0; t < threads; t++ {
+			lane := fmt.Sprintf("n%d/w%d", node, t)
+			dec := time.Duration(0)
+			if decode != nil {
+				dec = time.Duration(decode[t])
+			}
+			weld := busy[t] - dec
+			if weld < 0 {
+				weld = 0
+			}
+			nr.spans = append(nr.spans,
+				obs.Span{Lane: lane, Name: "wait", Start: 0, Dur: stall[t]},
+				obs.Span{Lane: lane, Name: "decode", Start: stall[t], Dur: dec},
+				obs.Span{Lane: lane, Name: "march/weld", Start: stall[t] + dec, Dur: weld})
+		}
+		nr.spans = append(nr.spans, obs.Span{
+			Lane: fmt.Sprintf("n%d", node), Name: "merge",
+			Start: mergeStart, Dur: time.Since(start) - mergeStart,
+		})
 	}
 	return nr, nil
 }

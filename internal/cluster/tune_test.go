@@ -32,12 +32,12 @@ func TestWeldBatchZeroAllocSteadyState(t *testing.T) {
 	var m metacell.Meta
 	im := &geom.IndexedMesh{}
 	const iso = 110
-	if _, err := weldBatch(l, buf, nrec, recSize, iso, &w, &m, im); err != nil {
+	if _, err := weldBatch(l, buf, nrec, recSize, iso, &w, &m, im, nil); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
 		im.Reset()
-		if _, err := weldBatch(l, buf, nrec, recSize, iso, &w, &m, im); err != nil {
+		if _, err := weldBatch(l, buf, nrec, recSize, iso, &w, &m, im, nil); err != nil {
 			t.Error(err)
 		}
 	})

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -85,11 +85,13 @@ func (w ServingWorkload) IsoOfLevel(perm []int, rank uint64) float32 {
 
 // runClients drives n closed-loop clients issuing w.ReqPerClient requests
 // each through query (which reports the triangles its response carried),
-// returning the wall time, every request latency, and the total triangles
-// delivered across all requests.
-func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx context.Context, iso float32) (int, error)) (time.Duration, []time.Duration, int64, error) {
+// returning the wall time, the request-latency histogram, and the total
+// triangles delivered across all requests. Latencies go into a shared
+// obs.Histogram — constant memory however long the run, and the same
+// quantile math the serving layer itself exports.
+func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx context.Context, iso float32) (int, error)) (time.Duration, *obs.Histogram, int64, error) {
 	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
-	lats := make([][]time.Duration, n)
+	lat := obs.NewHistogram()
 	errs := make([]error, n)
 	var tris atomic.Int64
 	var wg sync.WaitGroup
@@ -112,7 +114,7 @@ func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx c
 					errs[k] = fmt.Errorf("harness: client %d request %d (iso %v): %w", k, i, iso, err)
 					return
 				}
-				lats[k] = append(lats[k], time.Since(t0))
+				lat.Observe(time.Since(t0))
 				tris.Add(int64(nt))
 			}
 		}(k)
@@ -124,12 +126,7 @@ func (w ServingWorkload) runClients(ctx context.Context, n int, query func(ctx c
 			return 0, nil, 0, err
 		}
 	}
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return wall, all, tris.Load(), nil
+	return wall, lat, tris.Load(), nil
 }
 
 // ServingTable runs the serving experiment over the given client counts: the
@@ -186,8 +183,8 @@ func ServingTable(ctx context.Context, cfg RMConfig, procs int, clientCounts []i
 			CacheHits:        st.CacheHits,
 			Coalesced:        st.Coalesced,
 			Extractions:      st.Extractions,
-			P50:              lats[len(lats)/2],
-			P99:              lats[len(lats)*99/100],
+			P50:              lats.Quantile(0.50),
+			P99:              lats.Quantile(0.99),
 		}
 		if row.DirectQPS > 0 {
 			row.Speedup = row.ServedQPS / row.DirectQPS

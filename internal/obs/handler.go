@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// NewHandler serves a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition format (0.0.4)
+//	/statusz       JSON snapshot of every metric, quantiles included
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//
+// Mount it on its own listener (cmd/isoserve -listen) or under a parent mux.
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "obs: /metrics (Prometheus), /statusz (JSON), /debug/pprof/\n")
+	})
+	return mux
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as cumulative
+// _bucket{le="..."} series plus _sum (seconds) and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.ordered...)
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		fmt.Fprintf(w, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %v\n", e.name, e.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%s %v\n", e.name, e.fn())
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			var cum int64
+			for i, n := range s.Buckets {
+				cum += n
+				if n == 0 && i < histBounds {
+					continue // elide empty interior buckets; cumulative totals stay exact
+				}
+				if i < histBounds {
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatLE(BucketBound(i)), cum)
+				} else {
+					fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+				}
+			}
+			fmt.Fprintf(w, "%s_sum %v\n", e.name, s.Sum.Seconds())
+			fmt.Fprintf(w, "%s_count %d\n", e.name, s.Count)
+		}
+	}
+}
+
+// formatLE renders a bucket bound in seconds without exponent noise for the
+// common sub-second magnitudes.
+func formatLE(sec float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", sec), "0"), ".")
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one timed stage of a traced request. Lanes model the concurrent
+// actors of the pipeline (the serve front end, each node's producer, each
+// triangulation worker); within a lane spans are sequential and
+// non-overlapping, so a lane's spans sum to the time that actor spent
+// accounted for — the property the trace tests assert.
+type Span struct {
+	Lane  string        `json:"lane"`  // e.g. "serve", "n0/prod", "n0/w1"
+	Name  string        `json:"name"`  // e.g. "queue-wait", "query+read", "march/weld"
+	Start time.Duration `json:"start"` // offset from the trace origin
+	Dur   time.Duration `json:"dur"`
+}
+
+// End returns the span's end offset.
+func (s Span) End() time.Duration { return s.Start + s.Dur }
+
+// Trace is a lightweight per-request stage trace. The zero value is ready to
+// use; a nil *Trace ignores all recording calls, so call sites need no
+// enabled-checks. Traces are not safe for concurrent Add — the pipeline
+// records per-goroutine span sets and merges them single-threaded (see
+// cluster.Result.Trace).
+type Trace struct {
+	Wall  time.Duration `json:"wall"` // total traced wall time
+	Spans []Span        `json:"spans"`
+}
+
+// Add records one span; no-op on a nil trace.
+func (t *Trace) Add(lane, name string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Lane: lane, Name: name, Start: start, Dur: dur})
+}
+
+// Append merges spans into the trace, shifting them by offset — how a
+// front-end trace absorbs a backend trace that started offset into the
+// request. No-op on a nil trace.
+func (t *Trace) Append(spans []Span, offset time.Duration) {
+	if t == nil {
+		return
+	}
+	for _, s := range spans {
+		s.Start += offset
+		t.Spans = append(t.Spans, s)
+	}
+}
+
+// Lanes returns the distinct lane names in first-appearance order.
+func (t *Trace) Lanes() []string {
+	var lanes []string
+	seen := map[string]bool{}
+	for _, s := range t.Spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	return lanes
+}
+
+// LaneSpans returns the lane's spans ordered by start offset.
+func (t *Trace) LaneSpans(lane string) []Span {
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Lane == lane {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// waterfallWidth is the character width of the Waterfall bar area.
+const waterfallWidth = 60
+
+// Waterfall renders the trace as a per-lane text waterfall: one row per
+// span, bars proportional to duration and positioned at their start offset.
+//
+//	n0/prod   query+read  |■■■■■■■■··················|  12.3ms
+//	n0/prod   stall       |········■■■···············|   3.1ms
+//	n0/w0     march/weld  |··■■■■■■■■■■■■■■··········|  18.9ms
+func (t *Trace) Waterfall(w io.Writer) {
+	if t == nil || len(t.Spans) == 0 {
+		fmt.Fprintln(w, "trace: no spans recorded")
+		return
+	}
+	total := t.Wall
+	for _, s := range t.Spans {
+		if s.End() > total {
+			total = s.End()
+		}
+	}
+	if total <= 0 {
+		total = 1
+	}
+	laneW, nameW := 4, 4
+	for _, s := range t.Spans {
+		if len(s.Lane) > laneW {
+			laneW = len(s.Lane)
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(w, "trace: %v wall, %d spans\n", total.Round(time.Microsecond), len(t.Spans))
+	for _, lane := range t.Lanes() {
+		for _, s := range t.LaneSpans(lane) {
+			from := int(float64(s.Start) / float64(total) * waterfallWidth)
+			n := int(float64(s.Dur)/float64(total)*waterfallWidth + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			if from >= waterfallWidth {
+				from = waterfallWidth - 1
+			}
+			if from+n > waterfallWidth {
+				n = waterfallWidth - from
+			}
+			bar := strings.Repeat("·", from) + strings.Repeat("■", n) + strings.Repeat("·", waterfallWidth-from-n)
+			fmt.Fprintf(w, "%-*s  %-*s  |%s| %9v\n", laneW, lane, nameW, s.Name, bar, s.Dur.Round(time.Microsecond))
+		}
+	}
+}
+
+// String renders the waterfall to a string (for logs and tests).
+func (t *Trace) String() string {
+	var b strings.Builder
+	t.Waterfall(&b)
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsSnapshotConcurrent hammers a server from many clients while other
+// goroutines poll Stats() and scrape the registry — the race detector is the
+// assertion; the final snapshot must also account for every request.
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	fb := &fakeBackend{tris: 4}
+	s := New(fb, Config{MaxInFlight: 4, QueueDepth: 64})
+
+	const clients, reqs = 8, 32
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.Requests < 0 || st.HitRate() < 0 || st.HitRate() > 1 {
+					t.Error("implausible stats snapshot")
+					return
+				}
+				var sb strings.Builder
+				s.Metrics().WritePrometheus(&sb)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				iso := float32(k*reqs+i) * 10 // distinct buckets: no free coalescing
+				if _, err := s.Query(context.Background(), 0, iso); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+
+	st := s.Stats()
+	if st.Requests != clients*reqs {
+		t.Errorf("Requests = %d, want %d", st.Requests, clients*reqs)
+	}
+	if st.CacheHits+st.Coalesced+st.Extractions != st.Requests {
+		t.Errorf("hits %d + coalesced %d + extractions %d ≠ requests %d",
+			st.CacheHits, st.Coalesced, st.Extractions, st.Requests)
+	}
+	if got := s.Metrics().Counter("serve_requests_total", "").Value(); got != int64(st.Requests) {
+		t.Errorf("serve_requests_total = %d, want %d", got, st.Requests)
+	}
+}
+
+func TestHitRateEdgeCases(t *testing.T) {
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Errorf("zero-request HitRate = %v, want 0", got)
+	}
+	st := Stats{Requests: 10, CacheHits: 3, Coalesced: 2}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	full := Stats{Requests: 4, CacheHits: 2, Coalesced: 2}
+	if got := full.HitRate(); got != 1 {
+		t.Errorf("all-hit HitRate = %v, want 1", got)
+	}
+}
+
+// TestResponseTracePresence checks the Trace contract per source: with
+// Config.Trace the leader gets queue-wait + extract spans, a cache hit gets
+// its single span, a coalesced joiner gets its join span; without
+// Config.Trace every response's Trace is nil.
+func TestResponseTracePresence(t *testing.T) {
+	ctx := context.Background()
+
+	laneNames := func(r *Response) map[string]bool {
+		names := map[string]bool{}
+		if r.Trace != nil {
+			for _, sp := range r.Trace.Spans {
+				names[sp.Name] = true
+			}
+		}
+		return names
+	}
+
+	fb := &fakeBackend{tris: 4, started: make(chan float32, 1), release: make(chan struct{})}
+	s := New(fb, Config{MaxInFlight: 2, QueueDepth: 8, Trace: true})
+
+	// Leader + one coalesced joiner on the same key.
+	type out struct {
+		resp *Response
+		err  error
+	}
+	leadCh := make(chan out, 1)
+	go func() {
+		r, err := s.Query(ctx, 0, 100)
+		leadCh <- out{r, err}
+	}()
+	<-fb.started // extraction pinned in flight
+	joinCh := make(chan out, 1)
+	go func() {
+		r, err := s.Query(ctx, 0, 100)
+		joinCh <- out{r, err}
+	}()
+	waitCoalesced(t, s) // joiner registered before release
+	close(fb.release)
+
+	lead := <-leadCh
+	join := <-joinCh
+	if lead.err != nil || join.err != nil {
+		t.Fatalf("queries failed: %v / %v", lead.err, join.err)
+	}
+	if lead.resp.Source != SourceExtracted {
+		t.Fatalf("leader source = %v", lead.resp.Source)
+	}
+	if names := laneNames(lead.resp); !names["queue-wait"] || !names["extract"] {
+		t.Errorf("leader trace spans = %v, want queue-wait and extract", names)
+	}
+	if join.resp.Source != SourceCoalesced {
+		t.Fatalf("joiner source = %v", join.resp.Source)
+	}
+	if names := laneNames(join.resp); !names["coalesce-join"] {
+		t.Errorf("joiner trace spans = %v, want coalesce-join", names)
+	}
+
+	hit, err := s.Query(ctx, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Source != SourceCache {
+		t.Fatalf("repeat source = %v, want cache", hit.Source)
+	}
+	if names := laneNames(hit); !names["cache-hit"] {
+		t.Errorf("cache-hit trace spans = %v, want cache-hit", names)
+	}
+	for _, r := range []*Response{lead.resp, join.resp, hit} {
+		if r.Trace.Wall != r.Wall {
+			t.Errorf("%v: Trace.Wall %v ≠ Response.Wall %v", r.Source, r.Trace.Wall, r.Wall)
+		}
+	}
+
+	// Tracing off: no response carries a trace, whatever its source.
+	off := New(&fakeBackend{tris: 4}, Config{MaxInFlight: 2})
+	for i := 0; i < 2; i++ { // extract, then cache hit
+		r, err := off.Query(ctx, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Trace != nil {
+			t.Errorf("Config.Trace off but %v response has trace %+v", r.Source, r.Trace)
+		}
+	}
+}
+
+// waitCoalesced blocks until the server has registered one coalesced join.
+func waitCoalesced(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Coalesced >= 1 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("coalesced joiner never registered")
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // ErrSaturated is returned when admission control sheds a request: MaxInFlight
@@ -64,6 +65,16 @@ type Config struct {
 	// KeepMeshes is forced on — a serving layer that drops its meshes would
 	// have nothing to return.
 	Options cluster.Options
+	// Metrics is the registry the server records into (counters, live
+	// gauges, latency and queue-wait histograms under serve_*). Nil creates
+	// a private registry, reachable via Server.Metrics — pass the engine's
+	// registry to serve everything from one /metrics endpoint.
+	Metrics *obs.Registry
+	// Trace enables per-request stage tracing: every Response carries a
+	// Trace (queue-wait, extraction stages, coalesce-join or cache-hit)
+	// renderable as a waterfall. Off by default — tracing adds two clock
+	// reads per pipeline record.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +138,12 @@ type Response struct {
 	Source Source
 	Wall   time.Duration // request latency inside the server
 	Result *cluster.Result
+	// Trace is the request's stage trace (nil unless Config.Trace): serve
+	// spans plus, for the extraction leader, the backend's per-stage spans
+	// shifted into this request's timeline. Coalesced joiners see only their
+	// join span — the extraction they shared belongs to the leader's
+	// timeline, which started before theirs.
+	Trace *obs.Trace
 }
 
 // Stats is a snapshot of the server's counters.
@@ -165,6 +182,11 @@ type call struct {
 	done    chan struct{}
 	res     *cluster.Result
 	err     error
+
+	// Stage timings for metrics and traces, written by the run goroutine
+	// before done is closed (the channel close publishes them to waiters).
+	queueWait  time.Duration // admission wait before the extraction slot
+	extractDur time.Duration // backend extraction wall time
 }
 
 // Server is the concurrent isosurface query service. The zero value is not
@@ -179,6 +201,7 @@ type Server struct {
 	queued   int
 	running  int
 	stats    Stats
+	met      *serveMetrics
 
 	slots chan struct{} // capacity MaxInFlight; holding a token = running
 }
@@ -186,14 +209,28 @@ type Server struct {
 // New builds a Server over any Backend.
 func New(b Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	if cfg.Trace {
+		cfg.Options.Trace = true
+	}
+	s := &Server{
 		backend:  b,
 		cfg:      cfg,
 		inflight: map[Key]*call{},
 		cache:    newMeshCache(cfg.CacheBytes),
 		slots:    make(chan struct{}, cfg.MaxInFlight),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = newServeMetrics(s, reg)
+	return s
 }
+
+// Metrics returns the registry the server records into — the one passed as
+// Config.Metrics, or the private registry created in its absence. Serve it
+// with obs.NewHandler.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // NewServer serves a single preprocessed time step; its queries must use
 // step 0.
@@ -241,10 +278,15 @@ func (s *Server) Query(ctx context.Context, step int, iso float32) (*Response, e
 
 	s.mu.Lock()
 	s.stats.Requests++
+	s.met.requests.Inc()
 	if res, ok := s.cache.get(key); ok {
 		s.stats.CacheHits++
 		s.mu.Unlock()
-		return &Response{Key: key, Iso: s.IsoOf(key), Source: SourceCache, Wall: time.Since(start), Result: res}, nil
+		s.met.cacheHits.Inc()
+		wall := time.Since(start)
+		s.met.requestLatency.Observe(wall)
+		return &Response{Key: key, Iso: s.IsoOf(key), Source: SourceCache, Wall: wall,
+			Result: res, Trace: traceCacheHit(s.cfg.Trace, wall)}, nil
 	}
 	// Join an in-flight extraction — unless its last waiter already
 	// abandoned it (its context is cancelled and it is only draining); a
@@ -255,12 +297,14 @@ func (s *Server) Query(ctx context.Context, step int, iso float32) (*Response, e
 		c.waiters++
 		s.stats.Coalesced++
 		s.mu.Unlock()
+		s.met.coalesced.Inc()
 		return s.wait(ctx, c, SourceCoalesced, start)
 	}
 	if s.running+s.queued >= s.cfg.MaxInFlight+s.cfg.QueueDepth {
 		s.stats.Rejected++
 		running, queued := s.running, s.queued
 		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrSaturated, running, queued)
 	}
 	c := &call{key: key, waiters: 1, done: make(chan struct{})}
@@ -283,7 +327,10 @@ func (s *Server) wait(ctx context.Context, c *call, src Source, start time.Time)
 		if c.err != nil {
 			return nil, c.err
 		}
-		return &Response{Key: c.key, Iso: s.IsoOf(c.key), Source: src, Wall: time.Since(start), Result: c.res}, nil
+		wall := time.Since(start)
+		s.met.requestLatency.Observe(wall)
+		return &Response{Key: c.key, Iso: s.IsoOf(c.key), Source: src, Wall: wall,
+			Result: c.res, Trace: s.traceOf(c, src, wall)}, nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		s.stats.Canceled++
@@ -292,8 +339,30 @@ func (s *Server) wait(ctx context.Context, c *call, src Source, start time.Time)
 			c.cancel()
 		}
 		s.mu.Unlock()
+		s.met.canceled.Inc()
 		return nil, ctx.Err()
 	}
+}
+
+// traceOf assembles a completed request's trace (nil when tracing is off):
+// the leader sees queue-wait, the extraction, and — shifted into its own
+// timeline — every backend pipeline span; a coalesced joiner sees the slice
+// of the shared extraction it actually waited through.
+func (s *Server) traceOf(c *call, src Source, wall time.Duration) *obs.Trace {
+	if !s.cfg.Trace {
+		return nil
+	}
+	tr := &obs.Trace{Wall: wall}
+	if src == SourceCoalesced {
+		tr.Add("serve", "coalesce-join", 0, wall)
+		return tr
+	}
+	tr.Add("serve", "queue-wait", 0, c.queueWait)
+	tr.Add("serve", "extract", c.queueWait, c.extractDur)
+	if c.res != nil && c.res.Trace != nil {
+		tr.Append(c.res.Trace.Spans, c.queueWait)
+	}
+	return tr
 }
 
 // run executes one call: wait for an extraction slot (admission), extract,
@@ -302,6 +371,7 @@ func (s *Server) wait(ctx context.Context, c *call, src Source, start time.Time)
 func (s *Server) run(c *call) {
 	defer c.cancel()
 
+	submitted := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	case <-c.ctx.Done():
@@ -314,18 +384,26 @@ func (s *Server) run(c *call) {
 		s.mu.Unlock()
 		return
 	}
+	c.queueWait = time.Since(submitted)
+	s.met.queueWait.Observe(c.queueWait)
 	s.mu.Lock()
 	s.queued--
 	s.running++
 	s.mu.Unlock()
 
+	t0 := time.Now()
 	res, err := s.backend.ExtractStep(c.ctx, c.key.Step, s.IsoOf(c.key), s.cfg.Options)
+	c.extractDur = time.Since(t0)
+	s.met.extractLatency.Observe(c.extractDur)
 
 	s.mu.Lock()
 	s.running--
 	if err == nil {
 		s.stats.Extractions++
-		s.stats.Evictions += s.cache.put(c.key, res)
+		s.met.extractions.Inc()
+		ev := s.cache.put(c.key, res)
+		s.stats.Evictions += ev
+		s.met.evictions.Add(ev)
 	}
 	c.res, c.err = res, err
 	s.unregister(c)

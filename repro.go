@@ -43,11 +43,13 @@ package repro
 
 import (
 	"fmt"
+	"net/http"
 
 	"repro/internal/cluster"
 	"repro/internal/composite"
 	"repro/internal/geom"
 	"repro/internal/meshio"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/serve"
 	"repro/internal/unstructured"
@@ -104,6 +106,18 @@ type (
 	ServeResponse = serve.Response
 	// ServeKey is the (time step, quantized isovalue) coalescing/cache key.
 	ServeKey = serve.Key
+	// Metrics is a named registry of counters, gauges, and latency
+	// histograms. Pass one registry via Config.Metrics and ServeConfig.Metrics
+	// so engine and server expose on the same page (see MetricsHandler).
+	Metrics = obs.Registry
+	// MetricsHistogram is a fixed-memory log-bucketed latency histogram.
+	MetricsHistogram = obs.Histogram
+	// Trace is the per-stage timing breakdown of one extraction, recorded
+	// when Options.Trace (or ServeConfig.Trace) is set; Trace.Waterfall
+	// renders it.
+	Trace = obs.Trace
+	// TraceSpan is one stage of a Trace.
+	TraceSpan = obs.Span
 )
 
 // ErrSaturated is returned by Server.Query when admission control sheds the
@@ -151,6 +165,14 @@ func PreprocessTimeVarying(gen func(step int) *Grid, steps []int, cfg Config) (*
 func TimeVaryingRM(nx, ny, nz int, seed uint64) func(step int) *Grid {
 	return volume.TimeVaryingRM(nx, ny, nz, seed)
 }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry over HTTP: Prometheus text on /metrics,
+// an indented-JSON snapshot on /statusz, and the runtime profiles on
+// /debug/pprof/.
+func MetricsHandler(m *Metrics) http.Handler { return obs.NewHandler(m) }
 
 // NewServer wraps a single-time-step engine in a concurrent query service;
 // queries address it as time step 0.
