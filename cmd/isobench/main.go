@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/serve"
 )
@@ -27,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isobench: ")
 	var (
-		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|tune|all")
+		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|scaling|tune|all")
 		size  = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
 		out   = flag.String("out", "figure4.ppm", "output image path for fig4")
 		cache = flag.Int("cache", 0, "LRU cache blocks per node disk (0 = cold-cache paper model); warms isovalue sweeps")
@@ -158,6 +159,18 @@ func main() {
 		check(err)
 		section("Serving layer: throughput vs clients (4 nodes)")
 		harness.PrintServingTable(os.Stdout, 4, w, rows)
+	}
+	if want("scaling") {
+		ran = true
+		w := harness.ServingWorkload{ReqPerClient: 16}
+		// ~200 Mbit per replica, era-plausible cluster networking (DESIGN §2
+		// models the era's disks the same way): slow enough that four
+		// replicated links still fit under one test host's CPU.
+		rep := dist.ReplicaConfig{LinkBytesPerSec: 25e6}
+		rows, err := harness.ScalingTable(ctx, cfg, 4, []int{1, 2, 4}, 32, w, rep)
+		check(err)
+		section("Scaling: sharded serving tier, throughput vs replicas (4 nodes each)")
+		harness.PrintScalingTable(os.Stdout, 32, w, rep, rows)
 	}
 	if want("ablations") || *exp == "tune" {
 		ran = true

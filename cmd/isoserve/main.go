@@ -11,16 +11,23 @@
 //	isoserve -size small -clients 32 -direct                 # uncached baseline
 //	isoserve -size small -clients 32 -compare                # served vs direct table
 //	isoserve -size small -clients 32 -listen :9090           # + /metrics, /statusz, pprof
+//	isoserve -size small -clients 32 -replicas 4             # sharded tier on loopback sockets
+//	isoserve -size small -replicas 3 -serve :8080            # daemon: router + replicas, no load
+//	isoserve -clients 32 -connect 127.0.0.1:8080             # drive a remote tier
 //
 // The closed loop reports throughput and latency percentiles plus the
 // server's hit/coalesce/eviction counters; the open loop additionally sheds
-// load (ErrSaturated) once the admission queue fills. -listen mounts the
-// observability handler (Prometheus /metrics, JSON /statusz, /debug/pprof)
-// over a registry shared by the engine and the server, and keeps serving it
-// after the load run finishes so the final state can be scraped; -trace
-// prints the stage waterfall of the first extraction; -statslog emits a
-// periodic one-line metrics digest. Ctrl-C cancels the run gracefully
-// through every in-flight extraction.
+// load (ErrSaturated) once the admission queue fills. -replicas stands up
+// the internal/dist sharded tier — N replica servers on loopback listeners
+// and a consistent-hash router — and drives the load through it over real
+// sockets; -serve exposes that router on an address and waits instead of
+// generating load; -connect drives a tier someone else is serving. -listen
+// mounts the observability handler (Prometheus /metrics, JSON /statusz,
+// /debug/pprof) over a registry shared by the engine and the server, and
+// keeps serving it after the load run finishes so the final state can be
+// scraped; -trace prints the stage waterfall of the first extraction;
+// -statslog emits a periodic one-line metrics digest. Ctrl-C cancels the run
+// gracefully through every in-flight extraction.
 package main
 
 import (
@@ -39,7 +46,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/meshio"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -71,6 +80,11 @@ func main() {
 		direct  = flag.Bool("direct", false, "bypass the server: every request is a raw Engine.Extract")
 		compare = flag.Bool("compare", false, "closed-loop served-vs-direct comparison table")
 
+		replicas  = flag.Int("replicas", 0, "shard the tier across N replica servers on loopback sockets (0 = one in-process server, no sockets)")
+		serveAddr = flag.String("serve", "", "serve the tier's router on this address and wait; no load is generated")
+		connect   = flag.String("connect", "", "drive a remote tier (a router or replica /mesh endpoint) at this address; no engine is built")
+		link      = flag.Int64("link", 0, "modeled per-replica NIC rate, bytes/sec (0 = unpaced); see the scaling experiment")
+
 		listen   = flag.String("listen", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :9090)")
 		trace    = flag.Bool("trace", false, "record stage traces; print the first extraction's waterfall")
 		statslog = flag.Duration("statslog", 0, "log a one-line metrics digest at this interval (0 = off)")
@@ -82,11 +96,19 @@ func main() {
 	if *levels < 2 {
 		log.Fatalf("-levels must be ≥ 2, got %d", *levels)
 	}
-	if *clients < 1 {
-		log.Fatalf("-clients must be ≥ 1, got %d", *clients)
+	if *serveAddr == "" { // daemon mode generates no load; client flags don't apply
+		if *clients < 1 {
+			log.Fatalf("-clients must be ≥ 1, got %d", *clients)
+		}
+		if *requests < 1 {
+			log.Fatalf("-requests must be ≥ 1, got %d", *requests)
+		}
 	}
-	if *requests < 1 {
-		log.Fatalf("-requests must be ≥ 1, got %d", *requests)
+	if *connect != "" && (*replicas > 0 || *serveAddr != "" || *direct || *compare) {
+		log.Fatal("-connect drives a remote tier: it excludes -replicas, -serve, -direct and -compare")
+	}
+	if (*replicas > 0 || *serveAddr != "") && (*direct || *compare) {
+		log.Fatal("-replicas/-serve run the sharded tier: they exclude -direct and -compare")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -103,7 +125,7 @@ func main() {
 		}
 		log.Printf("metrics on http://%s/metrics (also /statusz, /debug/pprof)", ln.Addr())
 		go func() {
-			if err := (&http.Server{Handler: obs.NewHandler(reg)}).Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if err := dist.NewHTTPServer(obs.NewHandler(reg)).Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
@@ -152,10 +174,15 @@ func main() {
 		return
 	}
 
-	log.Printf("preprocessing %d×%d×%d on %d nodes…", cfg.NX, cfg.NY, cfg.NZ, *procs)
-	eng, err := cluster.Build(harness.Volume(cfg), cluster.Config{Procs: *procs, ThreadsPerNode: *threads, Metrics: reg})
-	if err != nil {
-		log.Fatal(err)
+	// -connect needs no engine; every other mode extracts locally.
+	var eng *cluster.Engine
+	if *connect == "" {
+		log.Printf("preprocessing %d×%d×%d on %d nodes…", cfg.NX, cfg.NY, cfg.NZ, *procs)
+		var err error
+		eng, err = cluster.Build(harness.Volume(cfg), cluster.Config{Procs: *procs, ThreadsPerNode: *threads, Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var firstTrace atomic.Pointer[obs.Trace]
@@ -165,8 +192,58 @@ func main() {
 		}
 	}
 	var query func(ctx context.Context, iso float32) error
-	label := "served"
-	if *direct {
+	var label string
+	switch {
+	case *connect != "":
+		rt, err := dist.NewRouter(dist.RouterConfig{
+			Replicas:   []string{*connect},
+			IsoQuantum: float32(*quantum),
+			Metrics:    reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { printRouterStats(rt.Stats()) }()
+		defer rt.Close()
+		label = "remote tier at " + *connect
+		query = routedQuery(rt)
+
+	case *replicas > 0 || *serveAddr != "":
+		n := *replicas
+		if n <= 0 {
+			n = 1
+		}
+		cl, err := dist.StartCluster(serve.AsBackend(eng), dist.ClusterConfig{
+			Replicas: n,
+			Replica:  dist.ReplicaConfig{Serve: scfg, LinkBytesPerSec: *link},
+			Router:   dist.RouterConfig{Metrics: reg},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { printDistStats(cl) }()
+		defer cl.Close()
+		for i, rep := range cl.Replicas {
+			log.Printf("replica %d on http://%s (/mesh, /healthz, /metrics, /statusz)", i, rep.Addr())
+		}
+		if *serveAddr != "" {
+			ln, err := net.Listen("tcp", *serveAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			go func() {
+				if err := dist.NewHTTPServer(cl.Router.Handler()).Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Printf("router: %v", err)
+				}
+			}()
+			log.Printf("router on http://%s — try /mesh?iso=110, /healthz, /statusz; Ctrl-C to exit", ln.Addr())
+			<-ctx.Done()
+			return
+		}
+		label = fmt.Sprintf("sharded tier, %d replicas", n)
+		query = routedQuery(cl.Router)
+
+	case *direct:
 		label = "direct (no server)"
 		query = func(ctx context.Context, iso float32) error {
 			res, err := eng.Extract(ctx, iso, cluster.Options{KeepMeshes: true, Trace: *trace})
@@ -175,7 +252,9 @@ func main() {
 			}
 			return err
 		}
-	} else {
+
+	default:
+		label = "served"
 		srv := serve.NewServer(eng, scfg)
 		defer func() { printStats(srv.Stats()) }()
 		query = func(ctx context.Context, iso float32) error {
@@ -343,6 +422,40 @@ func (r runResult) print() {
 	fmt.Printf("latency p50 %v · p90 %v · p99 %v · max %v\n",
 		r.lats.Quantile(0.50).Round(time.Microsecond), r.lats.Quantile(0.90).Round(time.Microsecond),
 		r.lats.Quantile(0.99).Round(time.Microsecond), r.lats.Max().Round(time.Microsecond))
+}
+
+// routedQuery adapts a dist.Router to the load generators' query signature:
+// fetch the frame over the wire and validate its header, skipping the full
+// decode — the load generator only needs the bytes moved.
+func routedQuery(rt *dist.Router) func(context.Context, float32) error {
+	return func(ctx context.Context, iso float32) error {
+		frame, _, err := rt.QueryBytes(ctx, 0, iso)
+		if err != nil {
+			return err
+		}
+		_, _, err = meshio.DecodeBinaryHeader(frame)
+		return err
+	}
+}
+
+func printRouterStats(st dist.RouterStats) {
+	up := 0
+	for _, down := range st.Down {
+		if !down {
+			up++
+		}
+	}
+	fmt.Printf("\nrouter: %d routed · %d failovers · %d all-saturated · %d errors · %d/%d replicas up\n",
+		st.Routed, st.Failovers, st.Saturated, st.Errors, up, len(st.Down))
+}
+
+func printDistStats(cl *dist.Cluster) {
+	printRouterStats(cl.Router.Stats())
+	for i, st := range cl.Stats() {
+		fmt.Printf("replica %d: %d requests · hit rate %.0f%% · %d coalesced · %d extractions · %d shed · cache %d meshes / %s\n",
+			i, st.Requests, 100*st.HitRate(), st.Coalesced, st.Extractions, st.Rejected,
+			st.CachedMeshes, fmtBytes(st.CachedBytes))
+	}
 }
 
 func printStats(st serve.Stats) {

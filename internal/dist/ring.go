@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over n replicas. Each replica owns
+// vnodes points on a uint64 circle; a key is served by the replica owning
+// the first point at or after the key's hash, and fails over to the next
+// *distinct* replica in ring order. Because points depend only on
+// (replica index, vnode index), the mapping is stable: adding or removing
+// a replica moves only the keys in the arcs it owns, so every other
+// replica's mesh cache stays hot.
+type ring struct {
+	n      int
+	hashes []uint64 // sorted point hashes
+	owner  []int    // owner[i] is the replica owning hashes[i]
+}
+
+// defaultVirtualNodes spreads each replica across the circle finely enough
+// that a 64-level isovalue workload splits near-evenly over small clusters.
+const defaultVirtualNodes = 128
+
+func newRing(n, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	type point struct {
+		h uint64
+		r int
+	}
+	pts := make([]point, 0, n*vnodes)
+	for r := 0; r < n; r++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{pointHash(r, v), r})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	rg := &ring{n: n, hashes: make([]uint64, len(pts)), owner: make([]int, len(pts))}
+	for i, p := range pts {
+		rg.hashes[i], rg.owner[i] = p.h, p.r
+	}
+	return rg
+}
+
+// order appends to dst the replicas responsible for key hash h: the owner
+// first, then each distinct successor around the ring — the failover
+// sequence. dst is reused to keep the per-request path allocation-free.
+func (rg *ring) order(h uint64, dst []int) []int {
+	dst = dst[:0]
+	if len(rg.hashes) == 0 {
+		return dst
+	}
+	start := sort.Search(len(rg.hashes), func(i int) bool { return rg.hashes[i] >= h })
+	seen := 0
+	for i := 0; i < len(rg.hashes) && seen < rg.n; i++ {
+		r := rg.owner[(start+i)%len(rg.hashes)]
+		dup := false
+		for _, d := range dst {
+			if d == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, r)
+			seen++
+		}
+	}
+	return dst
+}
+
+// fnv1a64 is FNV-1a, inlined so ring and key hashing allocate nothing.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pointHash(replica, vnode int) uint64 {
+	return fnv1a64(fmt.Sprintf("replica-%d/vnode-%d", replica, vnode))
+}
+
+// keyHash hashes a (time step, isovalue bucket) shard key onto the ring.
+// The bucket — not the raw isovalue — is hashed, so every request the
+// replicas would coalesce or cache together routes to the same shard.
+func keyHash(step int, bucket int64) uint64 {
+	var b [16]byte
+	putU64(b[0:], uint64(step))
+	putU64(b[8:], uint64(bucket))
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

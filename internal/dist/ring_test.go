@@ -1,0 +1,72 @@
+package dist
+
+import "testing"
+
+func TestRingOrderCoversAllReplicasOnce(t *testing.T) {
+	rg := newRing(5, 0)
+	for step := 0; step < 3; step++ {
+		for bucket := int64(0); bucket < 200; bucket++ {
+			order := rg.order(keyHash(step, bucket), nil)
+			if len(order) != 5 {
+				t.Fatalf("key (%d,%d): order %v does not cover the ring", step, bucket, order)
+			}
+			seen := map[int]bool{}
+			for _, r := range order {
+				if r < 0 || r >= 5 || seen[r] {
+					t.Fatalf("key (%d,%d): bad order %v", step, bucket, order)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	rg := newRing(4, 0)
+	counts := make([]int, 4)
+	for bucket := int64(0); bucket < 1024; bucket++ {
+		counts[rg.order(keyHash(0, bucket), nil)[0]]++
+	}
+	for r, n := range counts {
+		// With 128 vnodes the split of 1024 keys should be far from
+		// degenerate; require every replica to own a real share.
+		if n < 1024/4/3 {
+			t.Errorf("replica %d owns only %d/1024 keys: %v", r, n, counts)
+		}
+	}
+}
+
+func TestRingIsDeterministic(t *testing.T) {
+	a, b := newRing(3, 64), newRing(3, 64)
+	for bucket := int64(0); bucket < 100; bucket++ {
+		ao, bo := a.order(keyHash(1, bucket), nil), b.order(keyHash(1, bucket), nil)
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("bucket %d: ring order differs between identical rings", bucket)
+			}
+		}
+	}
+}
+
+// Removing the last replica must move only the keys it owned: every other
+// shard keeps its key range (and therefore its warmed mesh cache).
+func TestRingStableUnderReplicaRemoval(t *testing.T) {
+	big, small := newRing(4, 0), newRing(3, 0)
+	moved, kept := 0, 0
+	for bucket := int64(0); bucket < 2048; bucket++ {
+		h := keyHash(0, bucket)
+		was := big.order(h, nil)[0]
+		now := small.order(h, nil)[0]
+		if was == 3 {
+			moved++
+			continue // this key's owner left; it must land somewhere else
+		}
+		if was != now {
+			t.Fatalf("bucket %d: owner %d changed to %d though replica 3 left", bucket, was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: %d moved, %d kept", moved, kept)
+	}
+}

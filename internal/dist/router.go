@@ -1,0 +1,431 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// ErrNoReplicas is returned when every candidate replica failed with a
+// transport error or was known down — the tier is unreachable, as opposed
+// to saturated (serve.ErrSaturated, which maps back to 503 + Retry-After).
+var ErrNoReplicas = errors.New("dist: no replica available")
+
+// RouterConfig sizes a front-end router.
+type RouterConfig struct {
+	// Replicas are the replica /mesh endpoints, as host:port addresses.
+	// Ring position is index-based, so keep the order stable across
+	// restarts or the shards (and their warmed caches) reshuffle.
+	Replicas []string
+
+	// IsoQuantum must match the replicas' serve.Config.IsoQuantum: the
+	// router hashes the quantized bucket, so every request a replica would
+	// coalesce or cache together lands on the same shard (0 = 1).
+	IsoQuantum float32
+
+	// VirtualNodes per replica on the hash ring (0 = 128).
+	VirtualNodes int
+
+	// Attempts bounds how many distinct replicas one request may try —
+	// the home shard plus failovers along the ring (0 = all replicas).
+	Attempts int
+
+	// ProbeInterval is the health-probe period (0 = 250ms; negative
+	// disables background probing — replicas are then marked down only by
+	// transport errors and revived by ProbeDownAfter... never, so keep
+	// probing on outside tests).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout bounds one /healthz round trip (0 = 1s).
+	ProbeTimeout time.Duration
+
+	// MaxFrameBytes caps an accepted mesh frame (0 = meshio's 1 GiB).
+	MaxFrameBytes int
+
+	// Client overrides the HTTP client (nil = pooled keep-alive transport).
+	Client *http.Client
+
+	// Metrics receives the router's counters (nil = a private registry,
+	// reachable via Router.Metrics).
+	Metrics *obs.Registry
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.IsoQuantum <= 0 {
+		c.IsoQuantum = 1
+	}
+	if c.Attempts <= 0 || c.Attempts > len(c.Replicas) {
+		c.Attempts = len(c.Replicas)
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// RouterStats is a snapshot of the router's counters.
+type RouterStats struct {
+	Routed    int64 // requests answered with a mesh
+	Failovers int64 // attempts moved to a ring successor (503 or transport error)
+	Saturated int64 // requests that found every candidate saturated
+	Errors    int64 // requests that failed outright
+	Down      []bool
+}
+
+// Route reports how one request was served.
+type Route struct {
+	Replica  int    // index into RouterConfig.Replicas
+	Addr     string
+	Source   string // the replica's X-Iso-Source: cache, coalesced, extracted
+	Attempts int    // 1 = served by its home shard
+}
+
+// Router is the shard-aware front end: it consistent-hashes each
+// (time step, quantized isovalue) key to its home replica so every shard's
+// mesh cache stays hot on its own key range, fails over along the hash
+// ring when a replica is saturated (503) or unreachable, and probes
+// /healthz to keep routing around dead or draining replicas.
+type Router struct {
+	cfg  RouterConfig
+	ring *ring
+	down []atomic.Bool
+
+	reg       *obs.Registry
+	routed    *obs.Counter
+	failovers *obs.Counter
+	saturated *obs.Counter
+	errorsC   *obs.Counter
+	latency   *obs.Histogram
+
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
+}
+
+// NewRouter builds a router over the configured replicas and starts its
+// health probes. Close releases them.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("dist: router needs at least one replica")
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      newRing(len(cfg.Replicas), cfg.VirtualNodes),
+		down:      make([]atomic.Bool, len(cfg.Replicas)),
+		reg:       reg,
+		routed:    reg.Counter("router_routed_total", "requests answered with a mesh"),
+		failovers: reg.Counter("router_failovers_total", "attempts moved to a ring successor"),
+		saturated: reg.Counter("router_saturated_total", "requests that found every candidate saturated"),
+		errorsC:   reg.Counter("router_errors_total", "requests that failed outright"),
+		latency:   reg.Histogram("router_request_seconds", "end-to-end routed request latency"),
+	}
+	reg.GaugeFunc("router_replicas_up", "replicas currently considered healthy", func() float64 {
+		up := 0
+		for i := range rt.down {
+			if !rt.down[i].Load() {
+				up++
+			}
+		}
+		return float64(up)
+	})
+	if cfg.ProbeInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		rt.stopProbe = cancel
+		rt.probeDone = make(chan struct{})
+		go rt.probeLoop(ctx)
+	}
+	return rt, nil
+}
+
+// Metrics returns the registry the router records into.
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// Close stops the health probes and idle connections. In-flight queries
+// finish on their own.
+func (rt *Router) Close() {
+	if rt.stopProbe != nil {
+		rt.stopProbe()
+		<-rt.probeDone
+	}
+	if t, ok := rt.cfg.Client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// Stats snapshots the router's counters and health view.
+func (rt *Router) Stats() RouterStats {
+	st := RouterStats{
+		Routed:    rt.routed.Value(),
+		Failovers: rt.failovers.Value(),
+		Saturated: rt.saturated.Value(),
+		Errors:    rt.errorsC.Value(),
+		Down:      make([]bool, len(rt.down)),
+	}
+	for i := range rt.down {
+		st.Down[i] = rt.down[i].Load()
+	}
+	return st
+}
+
+// KeyFor returns the shard key a query maps to (mirrors serve.KeyFor).
+func (rt *Router) KeyFor(step int, iso float32) serve.Key {
+	return serve.Key{Step: step, Bucket: int64(math.Round(float64(iso) / float64(rt.cfg.IsoQuantum)))}
+}
+
+// HomeReplica returns the replica index that owns a query's shard — the
+// first attempt of every routed request (exposed for tests and rebalancing
+// math).
+func (rt *Router) HomeReplica(step int, iso float32) int {
+	key := rt.KeyFor(step, iso)
+	ord := rt.ring.order(keyHash(key.Step, key.Bucket), nil)
+	return ord[0]
+}
+
+// Candidates returns the replicas a query may be served by, in failover
+// order: the home shard first, then the ring successors Attempts allows.
+// Exposed so operators (and the scaling harness) can pre-warm every cache a
+// key's overflow can spill into.
+func (rt *Router) Candidates(step int, iso float32) []int {
+	key := rt.KeyFor(step, iso)
+	order := rt.ring.order(keyHash(key.Step, key.Bucket), nil)
+	if len(order) > rt.cfg.Attempts {
+		order = order[:rt.cfg.Attempts]
+	}
+	return order
+}
+
+// QueryBytes routes one query and returns the raw mesh frame — the relay
+// path (Handler) and accounting-only callers use it to skip the decode.
+func (rt *Router) QueryBytes(ctx context.Context, step int, iso float32) ([]byte, Route, error) {
+	start := time.Now()
+	key := rt.KeyFor(step, iso)
+	order := rt.ring.order(keyHash(key.Step, key.Bucket), make([]int, 0, rt.ring.n))
+	if len(order) > rt.cfg.Attempts {
+		order = order[:rt.cfg.Attempts]
+	}
+	// Healthy replicas first, in ring order; known-down ones after, so a
+	// stale all-down health view degrades to trying, not failing.
+	cands := make([]int, 0, len(order))
+	for _, ri := range order {
+		if !rt.down[ri].Load() {
+			cands = append(cands, ri)
+		}
+	}
+	for _, ri := range order {
+		if rt.down[ri].Load() {
+			cands = append(cands, ri)
+		}
+	}
+
+	var (
+		route     Route
+		sawShed   bool
+		lastErr   error
+		attempted int
+	)
+	for _, ri := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, route, err
+		}
+		attempted++
+		frame, src, err := rt.fetch(ctx, ri, step, iso)
+		if err == nil {
+			rt.routed.Inc()
+			rt.latency.Observe(time.Since(start))
+			rt.down[ri].Store(false)
+			route = Route{Replica: ri, Addr: rt.cfg.Replicas[ri], Source: src, Attempts: attempted}
+			if attempted > 1 {
+				rt.failovers.Inc()
+			}
+			return frame, route, nil
+		}
+		lastErr = err
+		if errors.Is(err, serve.ErrSaturated) {
+			sawShed = true // busy, not dead: keep it in rotation
+			continue
+		}
+		if errors.Is(err, errReplicaFailed) {
+			// 4xx/5xx with the replica alive and responding: not routable
+			// around, the request itself is at fault.
+			rt.errorsC.Inc()
+			return nil, route, err
+		}
+		if ctx.Err() != nil {
+			return nil, route, ctx.Err()
+		}
+		rt.down[ri].Store(true) // transport error: out of rotation until a probe revives it
+	}
+	if sawShed {
+		rt.saturated.Inc()
+		return nil, route, fmt.Errorf("%w: all %d candidate replicas shed the request", serve.ErrSaturated, attempted)
+	}
+	rt.errorsC.Inc()
+	if lastErr != nil {
+		return nil, route, fmt.Errorf("%w: %d attempts, last: %v", ErrNoReplicas, attempted, lastErr)
+	}
+	return nil, route, ErrNoReplicas
+}
+
+// Response is a routed query result, decoded.
+type Response struct {
+	Mesh  *geom.Mesh
+	Iso   float32 // the quantized isovalue the shard extracted
+	Route Route
+}
+
+// Query routes one query and decodes the returned frame.
+func (rt *Router) Query(ctx context.Context, step int, iso float32) (*Response, error) {
+	frame, route, err := rt.QueryBytes(ctx, step, iso)
+	if err != nil {
+		return nil, err
+	}
+	mesh, qiso, err := meshio.DecodeBinary(frame)
+	if err != nil {
+		return nil, fmt.Errorf("dist: replica %s returned a bad frame: %w", route.Addr, err)
+	}
+	return &Response{Mesh: mesh, Iso: qiso, Route: route}, nil
+}
+
+// errReplicaFailed marks a definitive replica-side failure (non-503 error
+// status) that failover must not paper over.
+var errReplicaFailed = errors.New("dist: replica failed the request")
+
+func (rt *Router) fetch(ctx context.Context, ri, step int, iso float32) (frame []byte, source string, err error) {
+	url := fmt.Sprintf("http://%s/mesh?step=%d&iso=%s",
+		rt.cfg.Replicas[ri], step, strconv.FormatFloat(float64(iso), 'g', -1, 32))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return nil, "", fmt.Errorf("%w (replica %s)", serve.ErrSaturated, rt.cfg.Replicas[ri])
+	default:
+		return nil, "", fmt.Errorf("%w: %s from %s", errReplicaFailed, resp.Status, rt.cfg.Replicas[ri])
+	}
+	frame, err = meshio.ReadBinaryFrame(resp.Body, rt.cfg.MaxFrameBytes)
+	if err != nil {
+		return nil, "", fmt.Errorf("reading frame from %s: %w", rt.cfg.Replicas[ri], err)
+	}
+	return frame, resp.Header.Get("X-Iso-Source"), nil
+}
+
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer close(rt.probeDone)
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		var wg sync.WaitGroup
+		for i := range rt.cfg.Replicas {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rt.down[i].Store(!rt.probe(ctx, i))
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+func (rt *Router) probe(ctx context.Context, i int) bool {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+rt.cfg.Replicas[i]+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64)) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Handler exposes the router over HTTP so remote clients (isoserve
+// -connect) can drive the tier without linking it:
+//
+//	GET /mesh?step=S&iso=V  the routed mesh frame, relayed verbatim;
+//	                        X-Iso-Replica names the shard that served it
+//	GET /healthz            200 while ≥1 replica is up
+//	/metrics /statusz       the router's registry
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/mesh", func(w http.ResponseWriter, req *http.Request) {
+		step, iso, err := parseMeshQuery(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		frame, route, err := rt.QueryBytes(req.Context(), step, iso)
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case req.Context().Err() != nil:
+			return
+		default:
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", MeshContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+		w.Header().Set("X-Iso-Source", route.Source)
+		w.Header().Set("X-Iso-Replica", route.Addr)
+		w.Write(frame) //nolint:errcheck // client gone is the client's business
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		for i := range rt.down {
+			if !rt.down[i].Load() {
+				w.Write([]byte("ok\n")) //nolint:errcheck
+				return
+			}
+		}
+		http.Error(w, "no replicas up", http.StatusServiceUnavailable)
+	})
+	mux.Handle("/", obs.NewHandler(rt.reg))
+	return mux
+}

@@ -1,0 +1,222 @@
+package meshio
+
+// Binary mesh wire format — the frame the distributed serving tier ships
+// between replicas, routers and clients (internal/dist). The format is a
+// single length-prefixed frame so it can be written straight onto a socket
+// or carried as an HTTP body, and strict enough that a decoder facing
+// untrusted bytes either returns the exact mesh that was encoded or an
+// error — never a panic, and never an allocation larger than the input.
+//
+// Layout (all fields little-endian):
+//
+//	offset size
+//	0      4    frame length N: bytes that follow this prefix
+//	4      4    magic "ISOM"
+//	8      2    version (currently 1)
+//	10     2    flags (must be 0; reserved)
+//	12     4    isovalue (float32 bits)
+//	16     4    triangle count T; N must equal 16 + 36·T exactly
+//	20     36·T payload: per triangle, vertices A,B,C × components X,Y,Z
+//	            as float32 bits — the same bytes geom.Mesh holds in memory,
+//	            so encode(decode(f)) == f and decode(encode(m)) == m
+//	            bit for bit.
+//
+// The triangle payload is a soup in extraction order: AppendBinary
+// concatenates the per-node meshes it is given in argument order, which for
+// a cluster Result's PerNode meshes reproduces exactly the soup
+// repro.MergeMeshes builds — the property the distributed tier's
+// byte-identity end-to-end test pins.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// BinaryVersion is the wire format version AppendBinary writes and
+// DecodeBinary accepts.
+const BinaryVersion = 1
+
+// binMagic marks a mesh frame. Four printable bytes so a misdirected frame
+// is recognizable in a hex dump.
+var binMagic = [4]byte{'I', 'S', 'O', 'M'}
+
+const (
+	binPrefixSize = 4                 // the length prefix itself
+	binHeaderSize = 16                // magic..count, after the prefix
+	binTriSize    = 36                // 9 float32 per triangle
+	binMinFrame   = binPrefixSize + binHeaderSize
+
+	// MaxBinaryFrameBytes is the largest frame ReadBinary accepts by
+	// default: 1 GiB ≈ 29.8 M triangles, far above any mesh the pipeline
+	// produces, far below anything that could exhaust memory twice over.
+	MaxBinaryFrameBytes = 1 << 30
+)
+
+// ErrBinaryFormat wraps every malformed-frame error so callers can
+// distinguish corrupt input from I/O failure with errors.Is.
+var ErrBinaryFormat = errors.New("meshio: malformed binary mesh frame")
+
+func binErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBinaryFormat, fmt.Sprintf(format, args...))
+}
+
+// BinarySize returns the encoded frame size (length prefix included) of the
+// given meshes' concatenated triangles.
+func BinarySize(meshes ...*geom.Mesh) int {
+	tris := 0
+	for _, m := range meshes {
+		tris += len(m.Tris)
+	}
+	return binMinFrame + binTriSize*tris
+}
+
+// AppendBinary appends one encoded frame holding the concatenation of the
+// given meshes (in argument order) to dst and returns the extended slice.
+// Encoding a cluster Result's per-node meshes in node order yields the same
+// soup as merging them first.
+func AppendBinary(dst []byte, iso float32, meshes ...*geom.Mesh) []byte {
+	tris := 0
+	for _, m := range meshes {
+		tris += len(m.Tris)
+	}
+	need := binMinFrame + binTriSize*tris
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	var hdr [binMinFrame]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(need-binPrefixSize))
+	copy(hdr[4:8], binMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:], BinaryVersion)
+	binary.LittleEndian.PutUint16(hdr[10:], 0) // flags
+	binary.LittleEndian.PutUint32(hdr[12:], math.Float32bits(iso))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(tris))
+	dst = append(dst, hdr[:]...)
+	var rec [binTriSize]byte
+	for _, m := range meshes {
+		for _, t := range m.Tris {
+			putVec(rec[0:], t.A)
+			putVec(rec[12:], t.B)
+			putVec(rec[24:], t.C)
+			dst = append(dst, rec[:]...)
+		}
+	}
+	return dst
+}
+
+// EncodeBinary encodes the concatenation of the given meshes as one frame.
+func EncodeBinary(iso float32, meshes ...*geom.Mesh) []byte {
+	return AppendBinary(nil, iso, meshes...)
+}
+
+func putVec(b []byte, v geom.Vec3) {
+	binary.LittleEndian.PutUint32(b[0:], math.Float32bits(v.X))
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(v.Y))
+	binary.LittleEndian.PutUint32(b[8:], math.Float32bits(v.Z))
+}
+
+// DecodeBinaryHeader validates the fixed-size portion of a frame and
+// returns its isovalue and triangle count without touching the payload —
+// what a router or load driver needs to account for a mesh it only relays.
+// The frame must still be exactly the right length for its count.
+func DecodeBinaryHeader(data []byte) (iso float32, tris int, err error) {
+	if len(data) < binMinFrame {
+		return 0, 0, binErr("%d bytes, need at least %d", len(data), binMinFrame)
+	}
+	n := binary.LittleEndian.Uint32(data[0:])
+	if uint64(n) != uint64(len(data)-binPrefixSize) {
+		return 0, 0, binErr("length prefix %d, frame carries %d bytes", n, len(data)-binPrefixSize)
+	}
+	if [4]byte(data[4:8]) != binMagic {
+		return 0, 0, binErr("bad magic %q", data[4:8])
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != BinaryVersion {
+		return 0, 0, binErr("version %d, decoder speaks %d", v, BinaryVersion)
+	}
+	if f := binary.LittleEndian.Uint16(data[10:]); f != 0 {
+		return 0, 0, binErr("reserved flags %#x set", f)
+	}
+	count := binary.LittleEndian.Uint32(data[16:])
+	payload := uint64(len(data) - binMinFrame)
+	if uint64(count)*binTriSize != payload {
+		return 0, 0, binErr("%d triangles declared, payload holds %d bytes (want %d)",
+			count, payload, uint64(count)*binTriSize)
+	}
+	iso = math.Float32frombits(binary.LittleEndian.Uint32(data[12:]))
+	return iso, int(count), nil
+}
+
+// DecodeBinary decodes exactly one frame from data. Truncated, oversized,
+// or corrupt frames error with ErrBinaryFormat; a successful decode
+// allocates only the triangle slice, whose size is bounded by len(data).
+func DecodeBinary(data []byte) (*geom.Mesh, float32, error) {
+	iso, tris, err := DecodeBinaryHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := &geom.Mesh{}
+	if tris > 0 {
+		m.Tris = make([]geom.Triangle, tris)
+		payload := data[binMinFrame:]
+		for i := range m.Tris {
+			rec := payload[i*binTriSize:]
+			m.Tris[i] = geom.Triangle{
+				A: getVec(rec[0:]),
+				B: getVec(rec[12:]),
+				C: getVec(rec[24:]),
+			}
+		}
+	}
+	return m, iso, nil
+}
+
+func getVec(b []byte) geom.Vec3 {
+	return geom.Vec3{
+		X: math.Float32frombits(binary.LittleEndian.Uint32(b[0:])),
+		Y: math.Float32frombits(binary.LittleEndian.Uint32(b[4:])),
+		Z: math.Float32frombits(binary.LittleEndian.Uint32(b[8:])),
+	}
+}
+
+// ReadBinaryFrame reads one whole frame (length prefix included) from r,
+// refusing frames whose declared size exceeds maxBytes (≤ 0 selects
+// MaxBinaryFrameBytes). The limit is enforced before the payload is
+// allocated or read, so a hostile length prefix cannot balloon memory.
+func ReadBinaryFrame(r io.Reader, maxBytes int) ([]byte, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxBinaryFrameBytes
+	}
+	var prefix [binPrefixSize]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, fmt.Errorf("meshio: reading frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n < binHeaderSize {
+		return nil, binErr("length prefix %d below header size %d", n, binHeaderSize)
+	}
+	if uint64(n)+binPrefixSize > uint64(maxBytes) {
+		return nil, binErr("frame of %d bytes exceeds limit %d", uint64(n)+binPrefixSize, maxBytes)
+	}
+	frame := make([]byte, binPrefixSize+int(n))
+	copy(frame, prefix[:])
+	if _, err := io.ReadFull(r, frame[binPrefixSize:]); err != nil {
+		return nil, fmt.Errorf("meshio: reading %d-byte frame body: %w", n, err)
+	}
+	return frame, nil
+}
+
+// ReadBinary reads and decodes one frame from r under the same size limit
+// as ReadBinaryFrame.
+func ReadBinary(r io.Reader, maxBytes int) (*geom.Mesh, float32, error) {
+	frame, err := ReadBinaryFrame(r, maxBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return DecodeBinary(frame)
+}

@@ -1,0 +1,60 @@
+package meshio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzDecodeBinary holds the wire decoder to its contract under arbitrary
+// input: it must return ErrBinaryFormat (never panic, never tolerate a
+// malformed frame), and whatever it does accept must re-encode to the exact
+// input bytes — so the fuzzer proves accepted frames are canonical, not
+// merely survivable. The decoder allocates at most O(len(input)), enforced
+// structurally (triangle count is validated against the payload length
+// before the slice is made).
+func FuzzDecodeBinary(f *testing.F) {
+	empty := EncodeBinary(0, &geom.Mesh{})
+	one := EncodeBinary(110, &geom.Mesh{Tris: []geom.Triangle{{
+		A: geom.V(0, 0, 0), B: geom.V(1, 0, 0), C: geom.V(0, 1, 0),
+	}}})
+	many := EncodeBinary(-3.25, testMesh(9, 2))
+
+	f.Add(empty)
+	f.Add(one)
+	f.Add(many)
+	f.Add(one[:len(one)-7])                         // truncated payload
+	f.Add(append(append([]byte(nil), many...), 1))  // trailing byte
+	f.Add([]byte{})                                 // no bytes at all
+	f.Add(bytes.Repeat([]byte{0xff}, binMinFrame))  // hostile prefix + count
+	corruptVersion := append([]byte(nil), one...)
+	binary.LittleEndian.PutUint16(corruptVersion[8:], 2)
+	f.Add(corruptVersion)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, iso, err := DecodeBinary(data)
+		if err != nil {
+			if !errors.Is(err, ErrBinaryFormat) {
+				t.Fatalf("non-format error from pure decode: %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil mesh with nil error")
+		}
+		// The header peek must agree with the full decode.
+		piso, ptris, perr := DecodeBinaryHeader(data)
+		if perr != nil || ptris != len(m.Tris) || math.Float32bits(piso) != math.Float32bits(iso) {
+			t.Fatalf("header peek (%v, %d, %v) disagrees with decode (%v, %d)",
+				piso, ptris, perr, iso, len(m.Tris))
+		}
+		// Round trip: an accepted frame is exactly what the encoder emits.
+		if re := EncodeBinary(iso, m); !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+	})
+}

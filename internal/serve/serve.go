@@ -243,6 +243,14 @@ func NewTimeVaryingServer(tv *cluster.TimeVaryingEngine, cfg Config) *Server {
 	return New(tvBackend{tv}, cfg)
 }
 
+// AsBackend adapts a single-time-step engine to the Backend interface (its
+// queries must use step 0) — for callers like the distributed tier that
+// build Servers over any backend with New.
+func AsBackend(eng *cluster.Engine) Backend { return engineBackend{eng} }
+
+// AsTimeVaryingBackend adapts a time-varying engine to the Backend interface.
+func AsTimeVaryingBackend(tv *cluster.TimeVaryingEngine) Backend { return tvBackend{tv} }
+
 type engineBackend struct{ eng *cluster.Engine }
 
 func (b engineBackend) ExtractStep(ctx context.Context, step int, iso float32, opts cluster.Options) (*cluster.Result, error) {

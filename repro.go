@@ -26,6 +26,13 @@
 // kept in a byte-budgeted LRU cache, and admission control bounds in-flight
 // work, shedding excess load with ErrSaturated.
 //
+// To scale the service out, shard it: StartDistCluster spawns N replica
+// servers on loopback sockets behind a consistent-hashing Router, or compose
+// the pieces yourself — NewReplicaServer puts one Server behind an HTTP
+// endpoint speaking the binary mesh wire format (EncodeMeshBinary /
+// DecodeMeshBinary), and NewRouter fronts any set of replica addresses with
+// shard-affine routing, health probes, and saturation-aware failover.
+//
 // Quick start:
 //
 //	vol := repro.GenerateRM(256, 256, 240, 250, 42) // synthetic RM time step
@@ -43,10 +50,12 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/cluster"
 	"repro/internal/composite"
+	"repro/internal/dist"
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
@@ -118,11 +127,40 @@ type (
 	Trace = obs.Trace
 	// TraceSpan is one stage of a Trace.
 	TraceSpan = obs.Span
+	// ServeBackend is what a Server extracts from; EngineBackend and
+	// TimeVaryingBackend adapt the two engine kinds.
+	ServeBackend = serve.Backend
+	// Replica is one shard of the distributed serving tier: a Server behind
+	// an HTTP endpoint speaking the binary mesh wire format.
+	Replica = dist.Replica
+	// ReplicaConfig sizes a Replica (HTTP admission, modeled NIC rate).
+	ReplicaConfig = dist.ReplicaConfig
+	// Router is the shard-aware front end: consistent-hash routing with
+	// health probes and saturation-aware failover along the ring.
+	Router = dist.Router
+	// RouterConfig sizes a Router (replica addresses, ring, probing).
+	RouterConfig = dist.RouterConfig
+	// RouterStats is a snapshot of a Router's counters and health view.
+	RouterStats = dist.RouterStats
+	// RouterResponse is one routed, decoded query result.
+	RouterResponse = dist.Response
+	// DistConfig sizes an in-process distributed tier (see StartDistCluster).
+	DistConfig = dist.ClusterConfig
+	// DistCluster is a running tier: N replicas plus the router over them.
+	DistCluster = dist.Cluster
 )
 
 // ErrSaturated is returned by Server.Query when admission control sheds the
-// request.
+// request (and by Router queries when every candidate replica shed).
 var ErrSaturated = serve.ErrSaturated
+
+// ErrNoReplicas is returned by Router queries when the tier is unreachable —
+// every candidate replica was down or failed at the transport.
+var ErrNoReplicas = dist.ErrNoReplicas
+
+// MeshContentType is the media type replicas and routers serve binary mesh
+// frames under.
+const MeshContentType = dist.MeshContentType
 
 // Scalar storage formats.
 const (
@@ -181,6 +219,51 @@ func NewServer(eng *Engine, cfg ServeConfig) *Server { return serve.NewServer(en
 // NewTimeVaryingServer serves every indexed step of a time-varying engine.
 func NewTimeVaryingServer(tv *TimeVaryingEngine, cfg ServeConfig) *Server {
 	return serve.NewTimeVaryingServer(tv, cfg)
+}
+
+// EngineBackend adapts a single-time-step engine for a Server or the
+// distributed tier; queries address it as time step 0.
+func EngineBackend(eng *Engine) ServeBackend { return serve.AsBackend(eng) }
+
+// TimeVaryingBackend adapts a time-varying engine likewise.
+func TimeVaryingBackend(tv *TimeVaryingEngine) ServeBackend { return serve.AsTimeVaryingBackend(tv) }
+
+// NewReplicaServer mounts a query service behind the replica HTTP surface:
+// GET /mesh serves binary frames, overload sheds as 503 + Retry-After, and
+// /metrics, /statusz and /debug/pprof expose the server's registry.
+func NewReplicaServer(srv *Server, cfg ReplicaConfig) *Replica {
+	return dist.NewReplicaServer(srv, cfg)
+}
+
+// NewRouter fronts a set of replica addresses with consistent-hash routing:
+// each (time step, quantized isovalue) key has a home replica whose mesh
+// cache stays hot on it, saturation and transport errors fail over along the
+// hash ring, and background probes route around dead replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) { return dist.NewRouter(cfg) }
+
+// StartDistCluster spawns cfg.Replicas replica servers over one backend on
+// loopback listeners and a Router across them — a whole serving tier over
+// real sockets in one call (cmd/isoserve -replicas and the scaling
+// experiment both drive this).
+func StartDistCluster(backend ServeBackend, cfg DistConfig) (*DistCluster, error) {
+	return dist.StartCluster(backend, cfg)
+}
+
+// EncodeMeshBinary encodes meshes (concatenated in order) into one
+// length-prefixed binary wire frame, the format replicas serve.
+func EncodeMeshBinary(iso float32, meshes ...*Mesh) []byte {
+	return meshio.EncodeBinary(iso, meshes...)
+}
+
+// DecodeMeshBinary strictly decodes a binary wire frame. It is safe on
+// untrusted input: any truncation, corruption, or hostile length field
+// yields an error, never a panic or an unbounded allocation.
+func DecodeMeshBinary(data []byte) (*Mesh, float32, error) { return meshio.DecodeBinary(data) }
+
+// ReadMeshBinary reads and decodes one binary frame from r, rejecting frames
+// over maxBytes before allocating (0 = the codec's 1 GiB default).
+func ReadMeshBinary(r io.Reader, maxBytes int) (*Mesh, float32, error) {
+	return meshio.ReadBinary(r, maxBytes)
 }
 
 // RenderComposite renders each node's mesh on its own (software) GPU and
