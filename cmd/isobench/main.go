@@ -28,10 +28,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isobench: ")
 	var (
-		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|scaling|tune|all")
+		exp   = flag.String("experiment", "all", "table1|table2|table3|table4|table5|table6|table7|table8|fig4|fig5|fig6|ablations|schedule|serving|scaling|chaos|tune|all")
 		size  = flag.String("size", "full", "full (256×256×240, the paper's down-sampled size) or small (96×96×90)")
 		out   = flag.String("out", "figure4.ppm", "output image path for fig4")
 		cache = flag.Int("cache", 0, "LRU cache blocks per node disk (0 = cold-cache paper model); warms isovalue sweeps")
+
+		chaosStrict = flag.Bool("chaos-strict", false, "exit non-zero if any resilient chaos row fails a request or serves wrong bytes (CI gate)")
 	)
 	flag.Parse()
 
@@ -171,6 +173,24 @@ func main() {
 		check(err)
 		section("Scaling: sharded serving tier, throughput vs replicas (4 nodes each)")
 		harness.PrintScalingTable(os.Stdout, 32, w, rep, rows)
+	}
+	if want("chaos") {
+		ran = true
+		w := harness.ServingWorkload{ReqPerClient: 16, Levels: 16}
+		ccfg := harness.ChaosConfig{Replicas: 3, Clients: 8, Seed: 42}
+		scenarios := harness.DefaultChaosScenarios()
+		rows, err := harness.ChaosTable(ctx, cfg, 2, ccfg, w, scenarios)
+		check(err)
+		section("Chaos: availability and tail latency under injected faults (resilient vs fragile router)")
+		harness.PrintChaosTable(os.Stdout, ccfg, w, scenarios, rows)
+		if *chaosStrict {
+			for _, r := range rows {
+				if r.Resilient && (r.Failed > 0 || r.Mismatched > 0) {
+					log.Fatalf("chaos-strict: resilient router failed %d and mis-served %d of %d requests under %q",
+						r.Failed, r.Mismatched, r.Requests, r.Scenario)
+				}
+			}
+		}
 	}
 	if want("ablations") || *exp == "tune" {
 		ran = true

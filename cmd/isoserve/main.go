@@ -14,6 +14,7 @@
 //	isoserve -size small -clients 32 -replicas 4             # sharded tier on loopback sockets
 //	isoserve -size small -replicas 3 -serve :8080            # daemon: router + replicas, no load
 //	isoserve -clients 32 -connect 127.0.0.1:8080             # drive a remote tier
+//	isoserve -size small -replicas 3 -chaos drop=0.125,corrupt=0.25 -hedge 50ms  # fault one replica
 //
 // The closed loop reports throughput and latency percentiles plus the
 // server's hit/coalesce/eviction counters; the open loop additionally sheds
@@ -45,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/harness"
@@ -85,11 +87,27 @@ func main() {
 		connect   = flag.String("connect", "", "drive a remote tier (a router or replica /mesh endpoint) at this address; no engine is built")
 		link      = flag.Int64("link", 0, "modeled per-replica NIC rate, bytes/sec (0 = unpaced); see the scaling experiment")
 
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "router per-attempt timeout (0 = router default, negative disables)")
+		hedge          = flag.Duration("hedge", 0, "router hedges the first attempt to the ring successor after this delay (0 = off)")
+		chaosSpec      = flag.String("chaos", "", "inject faults into the tier's client path, e.g. latency=20ms,drop=0.125,corrupt=0.25")
+		chaosReplica   = flag.Int("chaos-replica", 0, "replica index the -chaos fault applies to (-replicas mode)")
+		chaosSeed      = flag.Uint64("chaos-seed", 42, "seed of the chaos fault streams")
+
 		listen   = flag.String("listen", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :9090)")
 		trace    = flag.Bool("trace", false, "record stage traces; print the first extraction's waterfall")
 		statslog = flag.Duration("statslog", 0, "log a one-line metrics digest at this interval (0 = off)")
 	)
 	flag.Parse()
+	var chaosFault chaos.Fault
+	if *chaosSpec != "" {
+		var err error
+		if chaosFault, err = chaos.ParseFault(*chaosSpec); err != nil {
+			log.Fatal(err)
+		}
+		if *replicas == 0 && *connect == "" {
+			log.Fatal("-chaos injects transport faults: it needs -replicas or -connect")
+		}
+	}
 	if *zipfS <= 1 {
 		log.Fatalf("-zipf must be > 1 (Zipf skew), got %v", *zipfS)
 	}
@@ -185,6 +203,24 @@ func main() {
 		}
 	}
 
+	// An injector-wrapped client slots the chaos layer between the router
+	// and the tier; the routing knobs below decide whether it copes.
+	var injector *chaos.Injector
+	routerClient := func() *http.Client {
+		if *chaosSpec == "" {
+			return nil // router builds its own pooled transport
+		}
+		injector = chaos.NewInjector(*chaosSeed)
+		return &http.Client{Transport: injector.Transport(dist.NewTransport())}
+	}()
+	defer func() {
+		if injector != nil {
+			s := injector.Stats()
+			fmt.Printf("chaos: %d delayed · %d dropped · %d blackholed · %d truncated · %d corrupted\n",
+				s.Delayed, s.Dropped, s.Blackhole, s.Truncated, s.Corrupted)
+		}
+	}()
+
 	var firstTrace atomic.Pointer[obs.Trace]
 	keepTrace := func(tr *obs.Trace) {
 		if tr != nil {
@@ -196,12 +232,18 @@ func main() {
 	switch {
 	case *connect != "":
 		rt, err := dist.NewRouter(dist.RouterConfig{
-			Replicas:   []string{*connect},
-			IsoQuantum: float32(*quantum),
-			Metrics:    reg,
+			Replicas:       []string{*connect},
+			IsoQuantum:     float32(*quantum),
+			Metrics:        reg,
+			AttemptTimeout: *attemptTimeout,
+			HedgeAfter:     *hedge,
+			Client:         routerClient,
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if injector != nil {
+			injector.SetFault(*connect, chaosFault)
 		}
 		defer func() { printRouterStats(rt.Stats()) }()
 		defer rt.Close()
@@ -216,10 +258,22 @@ func main() {
 		cl, err := dist.StartCluster(serve.AsBackend(eng), dist.ClusterConfig{
 			Replicas: n,
 			Replica:  dist.ReplicaConfig{Serve: scfg, LinkBytesPerSec: *link},
-			Router:   dist.RouterConfig{Metrics: reg},
+			Router: dist.RouterConfig{
+				Metrics:        reg,
+				AttemptTimeout: *attemptTimeout,
+				HedgeAfter:     *hedge,
+				Client:         routerClient,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if injector != nil {
+			if *chaosReplica < 0 || *chaosReplica >= n {
+				log.Fatalf("-chaos-replica %d out of range (tier has %d replicas)", *chaosReplica, n)
+			}
+			injector.SetFault(cl.Replicas[*chaosReplica].Addr(), chaosFault)
+			log.Printf("chaos: replica %d faulted with %s", *chaosReplica, chaosFault)
 		}
 		defer func() { printDistStats(cl) }()
 		defer cl.Close()
@@ -447,6 +501,10 @@ func printRouterStats(st dist.RouterStats) {
 	}
 	fmt.Printf("\nrouter: %d routed · %d failovers · %d all-saturated · %d errors · %d/%d replicas up\n",
 		st.Routed, st.Failovers, st.Saturated, st.Errors, up, len(st.Down))
+	if st.Retries+st.Hedges+st.CorruptFrames+st.AttemptTimeouts+st.Revived > 0 {
+		fmt.Printf("        %d backoff retries · %d hedges (%d won) · %d corrupt frames · %d attempt timeouts · %d revived\n",
+			st.Retries, st.Hedges, st.HedgeWins, st.CorruptFrames, st.AttemptTimeouts, st.Revived)
+	}
 }
 
 func printDistStats(cl *dist.Cluster) {

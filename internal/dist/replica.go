@@ -213,7 +213,7 @@ func (r *Replica) handleMesh(w http.ResponseWriter, req *http.Request) {
 	// the same soup a direct Extract + merge produces (the E2E byte-identity
 	// test holds the tier to that).
 	bufp := r.bufs.Get().(*[]byte)
-	frame := meshio.AppendBinary((*bufp)[:0], resp.Iso, perNodeMeshes(resp)...)
+	frame := meshio.AppendBinaryChecksum((*bufp)[:0], resp.Iso, perNodeMeshes(resp)...)
 
 	w.Header().Set("Content-Type", MeshContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))

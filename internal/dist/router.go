@@ -15,6 +15,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/serve"
 )
 
@@ -43,13 +44,48 @@ type RouterConfig struct {
 	Attempts int
 
 	// ProbeInterval is the health-probe period (0 = 250ms; negative
-	// disables background probing — replicas are then marked down only by
-	// transport errors and revived by ProbeDownAfter... never, so keep
-	// probing on outside tests).
+	// disables background probing — replicas are then marked down by
+	// transport errors and revived passively once DownCooldown elapses).
 	ProbeInterval time.Duration
 
 	// ProbeTimeout bounds one /healthz round trip (0 = 1s).
 	ProbeTimeout time.Duration
+
+	// AttemptTimeout bounds one replica round trip, so a blackholed
+	// connection costs one bounded attempt instead of the whole request
+	// deadline (0 = 30s — generous because paced replica links legitimately
+	// stream large frames for seconds; negative disables the bound).
+	AttemptTimeout time.Duration
+
+	// HedgeAfter launches a hedged copy of the first attempt to the ring
+	// successor when the home shard has not answered within this duration;
+	// the first result wins and cancels the other (0 = hedging off).
+	HedgeAfter time.Duration
+
+	// SaturationBudget keeps retrying a fully saturated candidate set —
+	// honoring the replicas' Retry-After hints, with jittered exponential
+	// backoff between rounds — for up to this long, bounded also by the
+	// caller's context deadline (0 = give up immediately, the pre-resilience
+	// behavior).
+	SaturationBudget time.Duration
+
+	// BackoffBase is the first saturation-backoff wait when the replicas
+	// offer no Retry-After hint; it doubles each round (0 = 25ms).
+	BackoffBase time.Duration
+
+	// DownCooldown is how long a transport error keeps a replica out of
+	// rotation before requests passively retry it. This revives marked-down
+	// replicas even with probing disabled (0 = 1s; negative restores the
+	// old strand-until-probed behavior).
+	DownCooldown time.Duration
+
+	// DisableVerify skips frame checksum verification on routed responses,
+	// letting corrupted payloads through to the client (for chaos-harness
+	// baselines; leave off in production).
+	DisableVerify bool
+
+	// Seed seeds the backoff-jitter stream (the zero value is valid).
+	Seed uint64
 
 	// MaxFrameBytes caps an accepted mesh frame (0 = meshio's 1 GiB).
 	MaxFrameBytes int
@@ -75,23 +111,61 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
 	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.DownCooldown == 0 {
+		c.DownCooldown = time.Second
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        256,
-			MaxIdleConnsPerHost: 64,
-			IdleConnTimeout:     90 * time.Second,
-		}}
+		c.Client = &http.Client{Transport: NewTransport()}
 	}
 	return c
 }
 
+// NewTransport returns the pooled keep-alive transport the router uses by
+// default — exported so chaos injectors and custom clients can wrap the
+// same base instead of http.DefaultTransport.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// SaturatedError reports that every candidate replica shed the request for
+// the whole saturation budget. It unwraps to serve.ErrSaturated and carries
+// the replicas' soonest Retry-After hint so front ends can forward it.
+type SaturatedError struct {
+	Attempts   int           // replica round trips spent before giving up
+	RetryAfter time.Duration // soonest hint the replicas offered (0 = none)
+	Waited     time.Duration // total backoff slept before giving up
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("%v: all candidates shed the request (%d attempts, waited %v)",
+		serve.ErrSaturated, e.Attempts, e.Waited.Round(time.Millisecond))
+}
+
+func (e *SaturatedError) Unwrap() error { return serve.ErrSaturated }
+
 // RouterStats is a snapshot of the router's counters.
 type RouterStats struct {
-	Routed    int64 // requests answered with a mesh
-	Failovers int64 // attempts moved to a ring successor (503 or transport error)
-	Saturated int64 // requests that found every candidate saturated
-	Errors    int64 // requests that failed outright
-	Down      []bool
+	Routed          int64 // requests answered with a mesh
+	Failovers       int64 // attempts moved to a ring successor (503 or transport error)
+	Saturated       int64 // requests that found every candidate saturated
+	Errors          int64 // requests that failed outright
+	Retries         int64 // saturation-backoff rounds slept
+	Hedges          int64 // hedged attempts launched
+	HedgeWins       int64 // hedged attempts that answered first
+	CorruptFrames   int64 // frames rejected by checksum or structure
+	AttemptTimeouts int64 // attempts cut off by AttemptTimeout
+	Revived         int64 // down replicas revived by a passing request
+	Down            []bool
 }
 
 // Route reports how one request was served.
@@ -107,16 +181,33 @@ type Route struct {
 // mesh cache stays hot on its own key range, fails over along the hash
 // ring when a replica is saturated (503) or unreachable, and probes
 // /healthz to keep routing around dead or draining replicas.
+//
+// The request path is hardened against the faults internal/chaos injects:
+// every attempt runs under AttemptTimeout, responses are checksum-verified
+// (a corrupt frame retries on the ring successor), a slow home shard can be
+// hedged to its successor, saturation is retried within SaturationBudget
+// honoring Retry-After, and marked-down replicas rejoin rotation after
+// DownCooldown even with probing off.
 type Router struct {
-	cfg  RouterConfig
-	ring *ring
-	down []atomic.Bool
+	cfg    RouterConfig
+	ring   *ring
+	down   []atomic.Bool
+	downAt []atomic.Int64 // unix nanos of the last markDown, for DownCooldown
+
+	jmu    sync.Mutex
+	jitter *rng.SplitMix64
 
 	reg       *obs.Registry
 	routed    *obs.Counter
 	failovers *obs.Counter
 	saturated *obs.Counter
 	errorsC   *obs.Counter
+	retries   *obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	corrupt   *obs.Counter
+	timeouts  *obs.Counter
+	revived   *obs.Counter
 	latency   *obs.Histogram
 
 	stopProbe context.CancelFunc
@@ -138,17 +229,25 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg:       cfg,
 		ring:      newRing(len(cfg.Replicas), cfg.VirtualNodes),
 		down:      make([]atomic.Bool, len(cfg.Replicas)),
+		downAt:    make([]atomic.Int64, len(cfg.Replicas)),
+		jitter:    rng.New(cfg.Seed),
 		reg:       reg,
 		routed:    reg.Counter("router_routed_total", "requests answered with a mesh"),
 		failovers: reg.Counter("router_failovers_total", "attempts moved to a ring successor"),
 		saturated: reg.Counter("router_saturated_total", "requests that found every candidate saturated"),
 		errorsC:   reg.Counter("router_errors_total", "requests that failed outright"),
+		retries:   reg.Counter("router_retries_total", "saturation-backoff rounds slept"),
+		hedges:    reg.Counter("router_hedges_total", "hedged attempts launched"),
+		hedgeWins: reg.Counter("router_hedge_wins_total", "hedged attempts that answered first"),
+		corrupt:   reg.Counter("router_corrupt_frames_total", "frames rejected by checksum or structure"),
+		timeouts:  reg.Counter("router_attempt_timeouts_total", "attempts cut off by the per-attempt timeout"),
+		revived:   reg.Counter("router_revived_total", "down replicas revived by a passing request"),
 		latency:   reg.Histogram("router_request_seconds", "end-to-end routed request latency"),
 	}
 	reg.GaugeFunc("router_replicas_up", "replicas currently considered healthy", func() float64 {
 		up := 0
 		for i := range rt.down {
-			if !rt.down[i].Load() {
+			if !rt.isDown(i) {
 				up++
 			}
 		}
@@ -181,16 +280,42 @@ func (rt *Router) Close() {
 // Stats snapshots the router's counters and health view.
 func (rt *Router) Stats() RouterStats {
 	st := RouterStats{
-		Routed:    rt.routed.Value(),
-		Failovers: rt.failovers.Value(),
-		Saturated: rt.saturated.Value(),
-		Errors:    rt.errorsC.Value(),
-		Down:      make([]bool, len(rt.down)),
+		Routed:          rt.routed.Value(),
+		Failovers:       rt.failovers.Value(),
+		Saturated:       rt.saturated.Value(),
+		Errors:          rt.errorsC.Value(),
+		Retries:         rt.retries.Value(),
+		Hedges:          rt.hedges.Value(),
+		HedgeWins:       rt.hedgeWins.Value(),
+		CorruptFrames:   rt.corrupt.Value(),
+		AttemptTimeouts: rt.timeouts.Value(),
+		Revived:         rt.revived.Value(),
+		Down:            make([]bool, len(rt.down)),
 	}
 	for i := range rt.down {
-		st.Down[i] = rt.down[i].Load()
+		st.Down[i] = rt.isDown(i)
 	}
 	return st
+}
+
+// markDown takes a replica out of rotation and stamps the cooldown clock.
+func (rt *Router) markDown(ri int) {
+	rt.downAt[ri].Store(time.Now().UnixNano())
+	rt.down[ri].Store(true)
+}
+
+// isDown reports whether a replica should be skipped: marked down and still
+// inside DownCooldown. Once the cooldown elapses requests retry it — a
+// success flips it back up (Revived), a failure re-stamps the clock.
+func (rt *Router) isDown(ri int) bool {
+	if !rt.down[ri].Load() {
+		return false
+	}
+	cd := rt.cfg.DownCooldown
+	if cd < 0 {
+		return true
+	}
+	return time.Since(time.Unix(0, rt.downAt[ri].Load())) < cd
 }
 
 // KeyFor returns the shard key a query maps to (mirrors serve.KeyFor).
@@ -220,76 +345,243 @@ func (rt *Router) Candidates(step int, iso float32) []int {
 	return order
 }
 
-// QueryBytes routes one query and returns the raw mesh frame — the relay
-// path (Handler) and accounting-only callers use it to skip the decode.
-func (rt *Router) QueryBytes(ctx context.Context, step int, iso float32) ([]byte, Route, error) {
-	start := time.Now()
+// candidates orders this request's replicas: healthy first, in ring order;
+// known-down ones after, so a stale all-down health view degrades to
+// trying, not failing.
+func (rt *Router) candidates(step int, iso float32) []int {
 	key := rt.KeyFor(step, iso)
 	order := rt.ring.order(keyHash(key.Step, key.Bucket), make([]int, 0, rt.ring.n))
 	if len(order) > rt.cfg.Attempts {
 		order = order[:rt.cfg.Attempts]
 	}
-	// Healthy replicas first, in ring order; known-down ones after, so a
-	// stale all-down health view degrades to trying, not failing.
 	cands := make([]int, 0, len(order))
 	for _, ri := range order {
-		if !rt.down[ri].Load() {
+		if !rt.isDown(ri) {
 			cands = append(cands, ri)
 		}
 	}
 	for _, ri := range order {
-		if rt.down[ri].Load() {
+		if rt.isDown(ri) {
 			cands = append(cands, ri)
 		}
 	}
+	return cands
+}
 
+// QueryBytes routes one query and returns the raw mesh frame — the relay
+// path (Handler) and accounting-only callers use it to skip the decode.
+func (rt *Router) QueryBytes(ctx context.Context, step int, iso float32) ([]byte, Route, error) {
+	start := time.Now()
 	var (
-		route     Route
-		sawShed   bool
-		lastErr   error
-		attempted int
+		attempts int           // replica round trips across all rounds
+		backoff  = rt.cfg.BackoffBase
+		waited   time.Duration // total saturation backoff slept
 	)
-	for _, ri := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, route, err
+	// A saturation budget of zero means one pass and give up; otherwise
+	// rounds of pass → backoff continue until the budget (or the caller's
+	// deadline, whichever is sooner) runs out.
+	var budgetEnd time.Time
+	if rt.cfg.SaturationBudget > 0 {
+		budgetEnd = start.Add(rt.cfg.SaturationBudget)
+		if d, ok := ctx.Deadline(); ok && d.Before(budgetEnd) {
+			budgetEnd = d
 		}
-		attempted++
-		frame, src, err := rt.fetch(ctx, ri, step, iso)
-		if err == nil {
-			rt.routed.Inc()
-			rt.latency.Observe(time.Since(start))
-			rt.down[ri].Store(false)
-			route = Route{Replica: ri, Addr: rt.cfg.Replicas[ri], Source: src, Attempts: attempted}
-			if attempted > 1 {
-				rt.failovers.Inc()
+	}
+	for {
+		out := rt.pass(ctx, start, rt.candidates(step, iso), step, iso, &attempts)
+		if out.err == nil {
+			return out.frame, out.route, nil
+		}
+		if out.final {
+			return nil, out.route, out.err
+		}
+		// Every candidate shed the request. Sleep out the replicas' hint
+		// (or our own growing backoff) and try again if budget remains.
+		wait := out.hint
+		if wait <= 0 {
+			wait = backoff
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
 			}
-			return frame, route, nil
 		}
-		lastErr = err
-		if errors.Is(err, serve.ErrSaturated) {
+		wait = rt.jittered(wait)
+		// The hint is advisory: when it reaches past the budget, clamp and
+		// make one last-chance pass at the deadline's edge instead of
+		// abandoning a request we were told to keep trying.
+		remaining := time.Until(budgetEnd)
+		if budgetEnd.IsZero() || remaining <= 0 {
+			rt.saturated.Inc()
+			return nil, out.route, &SaturatedError{Attempts: attempts, RetryAfter: out.hint, Waited: waited}
+		}
+		if wait > remaining {
+			wait = remaining
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, out.route, ctx.Err()
+		case <-timer.C:
+		}
+		waited += wait
+		rt.retries.Inc()
+	}
+}
+
+// jittered spreads a wait over [w/2, 3w/2) so synchronized callers don't
+// retry in lockstep against the replica that just shed them.
+func (rt *Router) jittered(w time.Duration) time.Duration {
+	rt.jmu.Lock()
+	f := rt.jitter.Float64()
+	rt.jmu.Unlock()
+	return w/2 + time.Duration(f*float64(w))
+}
+
+// passResult is one full walk over a request's candidate list.
+type passResult struct {
+	frame []byte
+	route Route
+	hint  time.Duration // soonest Retry-After among shedding replicas
+	err   error
+	final bool // err must not be retried (definitive failure or ctx done)
+}
+
+// fres is one replica attempt's outcome.
+type fres struct {
+	ri    int
+	frame []byte
+	src   string
+	hint  time.Duration
+	err   error
+}
+
+func (rt *Router) pass(ctx context.Context, start time.Time, cands []int, step int, iso float32, attempts *int) passResult {
+	var (
+		res     passResult
+		sawShed bool
+		lastErr error
+	)
+	// classify folds one failed attempt into the pass state; a non-nil
+	// return aborts the whole request.
+	classify := func(f fres) *passResult {
+		lastErr = f.err
+		if errors.Is(f.err, serve.ErrSaturated) {
 			sawShed = true // busy, not dead: keep it in rotation
-			continue
+			if f.hint > 0 && (res.hint == 0 || f.hint < res.hint) {
+				res.hint = f.hint
+			}
+			return nil
 		}
-		if errors.Is(err, errReplicaFailed) {
+		if errors.Is(f.err, errReplicaFailed) {
 			// 4xx/5xx with the replica alive and responding: not routable
 			// around, the request itself is at fault.
 			rt.errorsC.Inc()
-			return nil, route, err
+			return &passResult{route: res.route, err: f.err, final: true}
 		}
-		if ctx.Err() != nil {
-			return nil, route, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return &passResult{route: res.route, err: err, final: true}
 		}
-		rt.down[ri].Store(true) // transport error: out of rotation until a probe revives it
+		rt.markDown(f.ri) // transport error, timeout, or corrupt frame: cool it down
+		return nil
+	}
+	serveFrom := func(win fres) passResult {
+		rt.routed.Inc()
+		rt.latency.Observe(time.Since(start))
+		if rt.down[win.ri].CompareAndSwap(true, false) {
+			rt.revived.Inc()
+		}
+		if *attempts > 1 {
+			rt.failovers.Inc()
+		}
+		return passResult{
+			frame: win.frame,
+			route: Route{Replica: win.ri, Addr: rt.cfg.Replicas[win.ri], Source: win.src, Attempts: *attempts},
+		}
+	}
+
+	i := 0
+	for i < len(cands) {
+		if err := ctx.Err(); err != nil {
+			return passResult{err: err, final: true}
+		}
+		if i == 0 && rt.cfg.HedgeAfter > 0 && len(cands) > 1 {
+			win, failed := rt.hedgedFetch(ctx, cands[0], cands[1], step, iso)
+			*attempts += len(failed)
+			if win != nil {
+				*attempts++
+			}
+			for _, f := range failed {
+				if abort := classify(f); abort != nil {
+					return *abort
+				}
+			}
+			if win != nil {
+				return serveFrom(*win)
+			}
+			// Every launched attempt failed; skip the candidates we tried.
+			i = len(failed)
+			continue
+		}
+		ri := cands[i]
+		i++
+		*attempts++
+		f := rt.fetch(ctx, ri, step, iso)
+		if f.err == nil {
+			return serveFrom(f)
+		}
+		if abort := classify(f); abort != nil {
+			return *abort
+		}
 	}
 	if sawShed {
-		rt.saturated.Inc()
-		return nil, route, fmt.Errorf("%w: all %d candidate replicas shed the request", serve.ErrSaturated, attempted)
+		res.err = fmt.Errorf("%w: all %d candidate replicas shed the request", serve.ErrSaturated, *attempts)
+		return res
 	}
 	rt.errorsC.Inc()
 	if lastErr != nil {
-		return nil, route, fmt.Errorf("%w: %d attempts, last: %v", ErrNoReplicas, attempted, lastErr)
+		return passResult{err: fmt.Errorf("%w: %d attempts, last: %v", ErrNoReplicas, *attempts, lastErr), final: true}
 	}
-	return nil, route, ErrNoReplicas
+	return passResult{err: ErrNoReplicas, final: true}
+}
+
+// hedgedFetch races the home shard against its ring successor: the
+// successor launches only if the home has not answered within HedgeAfter,
+// and the first success cancels the other attempt. It returns the winner
+// (nil if every launched attempt failed) and the failed attempts.
+func (rt *Router) hedgedFetch(ctx context.Context, a, b, step int, iso float32) (*fres, []fres) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser once a winner returns
+	ch := make(chan fres, 2)
+	fire := func(ri int) {
+		go func() { ch <- rt.fetch(hctx, ri, step, iso) }()
+	}
+	fire(a)
+	launched := 1
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	var failed []fres
+	for done := 0; done < launched; {
+		select {
+		case f := <-ch:
+			done++
+			if f.err == nil {
+				if f.ri == b {
+					rt.hedgeWins.Inc()
+				}
+				return &f, failed
+			}
+			failed = append(failed, f)
+		case <-timer.C:
+			if launched == 1 {
+				rt.hedges.Inc()
+				fire(b)
+				launched = 2
+			}
+		case <-ctx.Done():
+			return nil, failed
+		}
+	}
+	return nil, failed
 }
 
 // Response is a routed query result, decoded.
@@ -316,16 +608,34 @@ func (rt *Router) Query(ctx context.Context, step int, iso float32) (*Response, 
 // status) that failover must not paper over.
 var errReplicaFailed = errors.New("dist: replica failed the request")
 
-func (rt *Router) fetch(ctx context.Context, ri, step int, iso float32) (frame []byte, source string, err error) {
+func (rt *Router) fetch(ctx context.Context, ri, step int, iso float32) fres {
+	out := fres{ri: ri}
+	actx := ctx
+	if t := rt.cfg.AttemptTimeout; t > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	// timedOut distinguishes our per-attempt deadline from the caller's.
+	timedOut := func(err error) error {
+		if actx.Err() != nil && ctx.Err() == nil {
+			rt.timeouts.Inc()
+			return fmt.Errorf("attempt timed out after %v: %w", rt.cfg.AttemptTimeout, err)
+		}
+		return err
+	}
+	addr := rt.cfg.Replicas[ri]
 	url := fmt.Sprintf("http://%s/mesh?step=%d&iso=%s",
-		rt.cfg.Replicas[ri], step, strconv.FormatFloat(float64(iso), 'g', -1, 32))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		addr, step, strconv.FormatFloat(float64(iso), 'g', -1, 32))
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, "", err
+		out.err = err
+		return out
 	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
-		return nil, "", err
+		out.err = timedOut(err)
+		return out
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
@@ -334,15 +644,29 @@ func (rt *Router) fetch(ctx context.Context, ri, step int, iso float32) (frame [
 	switch {
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return nil, "", fmt.Errorf("%w (replica %s)", serve.ErrSaturated, rt.cfg.Replicas[ri])
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			out.hint = time.Duration(secs) * time.Second
+		}
+		out.err = fmt.Errorf("%w (replica %s)", serve.ErrSaturated, addr)
+		return out
 	default:
-		return nil, "", fmt.Errorf("%w: %s from %s", errReplicaFailed, resp.Status, rt.cfg.Replicas[ri])
+		out.err = fmt.Errorf("%w: %s from %s", errReplicaFailed, resp.Status, addr)
+		return out
 	}
-	frame, err = meshio.ReadBinaryFrame(resp.Body, rt.cfg.MaxFrameBytes)
+	frame, err := meshio.ReadBinaryFrame(resp.Body, rt.cfg.MaxFrameBytes)
 	if err != nil {
-		return nil, "", fmt.Errorf("reading frame from %s: %w", rt.cfg.Replicas[ri], err)
+		out.err = timedOut(fmt.Errorf("reading frame from %s: %w", addr, err))
+		return out
 	}
-	return frame, resp.Header.Get("X-Iso-Source"), nil
+	if !rt.cfg.DisableVerify {
+		if err := meshio.VerifyBinary(frame); err != nil {
+			rt.corrupt.Inc()
+			out.err = fmt.Errorf("replica %s frame rejected: %w", addr, err)
+			return out
+		}
+	}
+	out.frame, out.src = frame, resp.Header.Get("X-Iso-Source")
+	return out
 }
 
 func (rt *Router) probeLoop(ctx context.Context) {
@@ -360,7 +684,11 @@ func (rt *Router) probeLoop(ctx context.Context) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				rt.down[i].Store(!rt.probe(ctx, i))
+				if rt.probe(ctx, i) {
+					rt.down[i].Store(false)
+				} else {
+					rt.markDown(i)
+				}
 			}(i)
 		}
 		wg.Wait()
@@ -402,7 +730,12 @@ func (rt *Router) Handler() http.Handler {
 		switch {
 		case err == nil:
 		case errors.Is(err, serve.ErrSaturated):
-			w.Header().Set("Retry-After", "1")
+			retryAfter := 1
+			var se *SaturatedError
+			if errors.As(err, &se) && se.RetryAfter > 0 {
+				retryAfter = int((se.RetryAfter + time.Second - 1) / time.Second)
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		case req.Context().Err() != nil:
@@ -419,7 +752,7 @@ func (rt *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		for i := range rt.down {
-			if !rt.down[i].Load() {
+			if !rt.isDown(i) {
 				w.Write([]byte("ok\n")) //nolint:errcheck
 				return
 			}

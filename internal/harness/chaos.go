@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------------
+// Chaos experiment: availability, error rate, and tail latency of the
+// sharded tier under injected faults, with the router's resilience features
+// on versus off. Each scenario pins one replica with a fault plan from
+// internal/chaos and replays the same Zipf workload twice; correctness is
+// checked byte-for-byte against fault-free reference frames.
+
+// ChaosScenario names one fault plan, applied for the whole timed run to
+// the replica that is home to the workload's hottest key.
+type ChaosScenario struct {
+	Name  string
+	Fault chaos.Fault
+}
+
+// DefaultChaosScenarios covers the fault classes the chaos layer injects,
+// one at a time and then combined ("mixed" is the CI acceptance scenario:
+// added latency, 1-in-8 connection drops, and frame corruption at once).
+func DefaultChaosScenarios() []ChaosScenario {
+	return []ChaosScenario{
+		{Name: "fault-free", Fault: chaos.Fault{}},
+		{Name: "slow", Fault: chaos.Fault{Latency: time.Second}},
+		{Name: "drops", Fault: chaos.Fault{DropProb: 0.125}},
+		{Name: "corrupt", Fault: chaos.Fault{CorruptProb: 0.25}},
+		{Name: "blackhole", Fault: chaos.Fault{BlackholeProb: 0.125}},
+		{Name: "mixed", Fault: chaos.Fault{Latency: 20 * time.Millisecond, DropProb: 0.125, CorruptProb: 0.25}},
+	}
+}
+
+// ChaosRow reports one (scenario, router mode) cell of the chaos experiment.
+type ChaosRow struct {
+	Scenario  string
+	Resilient bool
+
+	Requests   int
+	Failed     int // requests that returned an error
+	Mismatched int // requests that returned bytes differing from the reference
+
+	Availability float64 // correct responses / requests
+	P50, P99     time.Duration
+	P99Ratio     float64 // P99 / the fault-free resilient row's P99 (0 until known)
+
+	// Router-side accounting deltas over the timed run.
+	Failovers, Retries, Hedges, HedgeWins, Corrupt, Timeouts, Revived int64
+}
+
+// ChaosConfig sizes the chaos experiment.
+type ChaosConfig struct {
+	Replicas       int           // tier size (0 = 3)
+	Clients        int           // closed-loop clients (0 = 4)
+	RequestTimeout time.Duration // per-request deadline (0 = 2s)
+	Seed           uint64        // injector + jitter seed base
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 8 * time.Second
+	}
+	return c
+}
+
+// resilientRouter is the hardened configuration under test: bounded
+// attempts, early hedging, saturation retries, passive revival, verified
+// frames. Probing is off in both modes so the rows compare the request
+// path's own resilience, not the probe loop's.
+func resilientRouter(client *http.Client) dist.RouterConfig {
+	// The timeouts are generous: a warm cache hit on the experiment grids
+	// can cost hundreds of milliseconds under the race detector, and a
+	// too-eager AttemptTimeout turns the resilient rows into self-inflicted
+	// failures. Blackholed attempts are still covered well before the
+	// timeout by the hedge.
+	return dist.RouterConfig{
+		Client:           client,
+		ProbeInterval:    -1,
+		AttemptTimeout:   2 * time.Second,
+		HedgeAfter:       300 * time.Millisecond,
+		SaturationBudget: 2 * time.Second,
+		DownCooldown:     250 * time.Millisecond,
+	}
+}
+
+// fragileRouter switches every resilience feature off — the pre-hardening
+// request path: unbounded attempts, no hedging, no saturation retries,
+// transport errors strand a replica forever, frames pass unverified.
+func fragileRouter(client *http.Client) dist.RouterConfig {
+	return dist.RouterConfig{
+		Client:           client,
+		ProbeInterval:    -1,
+		AttemptTimeout:   -1,
+		HedgeAfter:       0,
+		SaturationBudget: 0,
+		DownCooldown:     -1,
+		DisableVerify:    true,
+	}
+}
+
+// ChaosTable runs every scenario twice — resilient and fragile router —
+// against a fresh cluster each time, and reports availability, correctness,
+// and tail latency. Rows are ordered scenario-major with the resilient run
+// first.
+func ChaosTable(ctx context.Context, cfg RMConfig, procs int, ccfg ChaosConfig, w ServingWorkload, scenarios []ChaosScenario) ([]ChaosRow, error) {
+	w = w.withDefaults()
+	ccfg = ccfg.withDefaults()
+	eng, err := Engine(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	backend := serve.AsBackend(eng)
+
+	// Fault-free reference frames, one per isovalue level, fetched through a
+	// plain router: the bytes every faulted run must still deliver.
+	refs, err := referenceFrames(ctx, backend, w)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ChaosRow
+	var baselineP99 time.Duration
+	for _, sc := range scenarios {
+		for _, resilient := range []bool{true, false} {
+			row, err := chaosRow(ctx, backend, ccfg, w, sc, resilient, refs)
+			if err != nil {
+				return nil, fmt.Errorf("harness: chaos scenario %q (resilient=%v): %w", sc.Name, resilient, err)
+			}
+			if resilient && sc.Name == "fault-free" && row.P99 > 0 {
+				baselineP99 = row.P99
+			}
+			rows = append(rows, row)
+		}
+	}
+	if baselineP99 > 0 {
+		for i := range rows {
+			rows[i].P99Ratio = float64(rows[i].P99) / float64(baselineP99)
+		}
+	}
+	return rows, nil
+}
+
+// referenceFrames extracts each workload level once through an unfaulted
+// single-replica tier and returns the frames keyed by isovalue bits.
+func referenceFrames(ctx context.Context, backend serve.Backend, w ServingWorkload) (map[uint32][]byte, error) {
+	cl, err := dist.StartCluster(backend, dist.ClusterConfig{Replicas: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
+	refs := make(map[uint32][]byte, w.Levels)
+	for rank := 0; rank < w.Levels; rank++ {
+		iso := w.IsoOfLevel(perm, uint64(rank))
+		if _, ok := refs[math.Float32bits(iso)]; ok {
+			continue
+		}
+		frame, _, err := cl.Router.QueryBytes(ctx, 0, iso)
+		if err != nil {
+			return nil, fmt.Errorf("harness: reference frame for iso %v: %w", iso, err)
+		}
+		refs[math.Float32bits(iso)] = frame
+	}
+	return refs, nil
+}
+
+func chaosRow(ctx context.Context, backend serve.Backend, ccfg ChaosConfig, w ServingWorkload, sc ChaosScenario, resilient bool, refs map[uint32][]byte) (ChaosRow, error) {
+	in := chaos.NewInjector(ccfg.Seed + 1)
+	client := &http.Client{Transport: in.Transport(dist.NewTransport())}
+	rcfg := fragileRouter(client)
+	if resilient {
+		rcfg = resilientRouter(client)
+	}
+	rcfg.Seed = ccfg.Seed
+	cl, err := dist.StartCluster(backend, dist.ClusterConfig{
+		Replicas: ccfg.Replicas,
+		Replica:  dist.ReplicaConfig{Serve: serve.Config{QueueDepth: ccfg.Clients}},
+		Router:   rcfg,
+	})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer cl.Close()
+
+	// Warm every candidate cache before the fault lands, as ScalingTable
+	// does: the experiment measures the request path under faults, not cold
+	// extraction noise.
+	if err := warmLevels(ctx, w, cl); err != nil {
+		return ChaosRow{}, err
+	}
+	pre := cl.Router.Stats()
+	// Fault the home shard of the workload's hottest key (Zipf rank 0), so
+	// the faulted replica actually sees the bulk of the traffic — faulting a
+	// fixed index can land on a shard the skewed workload barely touches.
+	perm := rand.New(rand.NewSource(w.Seed)).Perm(w.Levels)
+	victim := cl.Router.HomeReplica(0, w.IsoOfLevel(perm, 0))
+	in.SetFault(cl.Replicas[victim].Addr(), sc.Fault)
+
+	var failed, mismatched atomic.Int64
+	lat := obs.NewHistogram()
+	var wg sync.WaitGroup
+	for k := 0; k < ccfg.Clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(w.Seed + int64(k)))
+			zipf := rand.NewZipf(rnd, w.ZipfS, 1, uint64(w.Levels-1))
+			for i := 0; i < w.ReqPerClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				iso := w.IsoOfLevel(perm, zipf.Uint64())
+				qctx, cancel := context.WithTimeout(ctx, ccfg.RequestTimeout)
+				t0 := time.Now()
+				frame, _, err := cl.Router.QueryBytes(qctx, 0, iso)
+				lat.Observe(time.Since(t0))
+				cancel()
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case !bytes.Equal(frame, refs[math.Float32bits(iso)]):
+					mismatched.Add(1)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return ChaosRow{}, err
+	}
+
+	st := cl.Router.Stats()
+	total := ccfg.Clients * w.ReqPerClient
+	row := ChaosRow{
+		Scenario:   sc.Name,
+		Resilient:  resilient,
+		Requests:   total,
+		Failed:     int(failed.Load()),
+		Mismatched: int(mismatched.Load()),
+		P50:        lat.Quantile(0.50),
+		P99:        lat.Quantile(0.99),
+		Failovers:  st.Failovers - pre.Failovers,
+		Retries:    st.Retries - pre.Retries,
+		Hedges:     st.Hedges - pre.Hedges,
+		HedgeWins:  st.HedgeWins - pre.HedgeWins,
+		Corrupt:    st.CorruptFrames - pre.CorruptFrames,
+		Timeouts:   st.AttemptTimeouts - pre.AttemptTimeouts,
+		Revived:    st.Revived - pre.Revived,
+	}
+	row.Availability = float64(total-row.Failed-row.Mismatched) / float64(total)
+	return row, nil
+}
+
+// PrintChaosTable emits the chaos experiment in the repo's table style.
+func PrintChaosTable(out io.Writer, ccfg ChaosConfig, w ServingWorkload, scenarios []ChaosScenario, rows []ChaosRow) {
+	ww := w.withDefaults()
+	cc := ccfg.withDefaults()
+	fmt.Fprintf(out, "%d replicas, fault on the hottest key's home shard; %d clients × %d requests, Zipf(%.2g) over %d levels, %v/request deadline\n",
+		cc.Replicas, cc.Clients, ww.ReqPerClient, ww.ZipfS, ww.Levels, cc.RequestTimeout)
+	for _, sc := range scenarios {
+		if sc.Fault != (chaos.Fault{}) {
+			fmt.Fprintf(out, "  %-10s %s\n", sc.Name+":", sc.Fault)
+		}
+	}
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "scenario\trouter\treqs\tfailed\tcorruptions\tavail\tp50\tp99\tp99 vs base\tfailovers\thedges (won)\tretries\ttimeouts\trevived\t")
+	for _, r := range rows {
+		mode := "fragile"
+		if r.Resilient {
+			mode = "resilient"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.1f%%\t%s\t%s\t%.1f×\t%d\t%d (%d)\t%d\t%d\t%d\t\n",
+			r.Scenario, mode, r.Requests, r.Failed, r.Mismatched,
+			100*r.Availability, fmtDur(r.P50), fmtDur(r.P99), r.P99Ratio,
+			r.Failovers, r.Hedges, r.HedgeWins, r.Retries, r.Timeouts, r.Revived)
+	}
+	tw.Flush()
+}

@@ -13,13 +13,18 @@ package meshio
 //	0      4    frame length N: bytes that follow this prefix
 //	4      4    magic "ISOM"
 //	8      2    version (currently 1)
-//	10     2    flags (must be 0; reserved)
+//	10     2    flags (bit 0 = CRC32-C trailer present; other bits reserved)
 //	12     4    isovalue (float32 bits)
 //	16     4    triangle count T; N must equal 16 + 36·T exactly
+//	            (+4 when the checksum flag is set)
 //	20     36·T payload: per triangle, vertices A,B,C × components X,Y,Z
 //	            as float32 bits — the same bytes geom.Mesh holds in memory,
 //	            so encode(decode(f)) == f and decode(encode(m)) == m
 //	            bit for bit.
+//	        4   CRC32-C (Castagnoli, little-endian) over magic..payload,
+//	            only when FlagChecksum is set. The distributed tier always
+//	            sets it, so a frame corrupted on the wire is detected and
+//	            retried on another replica instead of decoded.
 //
 // The triangle payload is a soup in extraction order: AppendBinary
 // concatenates the per-node meshes it is given in argument order, which for
@@ -31,6 +36,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -41,6 +47,12 @@ import (
 // DecodeBinary accepts.
 const BinaryVersion = 1
 
+// FlagChecksum marks a frame carrying a 4-byte CRC32-C trailer computed over
+// everything after the length prefix (magic through payload). Decoders that
+// predate the flag reject such frames outright (reserved-flags check) rather
+// than silently skipping verification.
+const FlagChecksum uint16 = 1 << 0
+
 // binMagic marks a mesh frame. Four printable bytes so a misdirected frame
 // is recognizable in a hex dump.
 var binMagic = [4]byte{'I', 'S', 'O', 'M'}
@@ -49,6 +61,7 @@ const (
 	binPrefixSize = 4                 // the length prefix itself
 	binHeaderSize = 16                // magic..count, after the prefix
 	binTriSize    = 36                // 9 float32 per triangle
+	binCRCSize    = 4                 // CRC32-C trailer, when FlagChecksum is set
 	binMinFrame   = binPrefixSize + binHeaderSize
 
 	// MaxBinaryFrameBytes is the largest frame ReadBinary accepts by
@@ -61,9 +74,19 @@ const (
 // distinguish corrupt input from I/O failure with errors.Is.
 var ErrBinaryFormat = errors.New("meshio: malformed binary mesh frame")
 
+// ErrChecksum marks a structurally valid frame whose CRC32-C trailer does not
+// match its bytes — corruption in transit. It wraps ErrBinaryFormat, so
+// generic malformed-frame handling still applies; the router additionally
+// counts these and retries the query on another replica.
+var ErrChecksum = errors.New("meshio: frame checksum mismatch")
+
 func binErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBinaryFormat, fmt.Sprintf(format, args...))
 }
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64), shared by encode and verify.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // BinarySize returns the encoded frame size (length prefix included) of the
 // given meshes' concatenated triangles.
@@ -80,21 +103,36 @@ func BinarySize(meshes ...*geom.Mesh) int {
 // Encoding a cluster Result's per-node meshes in node order yields the same
 // soup as merging them first.
 func AppendBinary(dst []byte, iso float32, meshes ...*geom.Mesh) []byte {
+	return appendBinary(dst, iso, 0, meshes...)
+}
+
+// AppendBinaryChecksum is AppendBinary with FlagChecksum set: the frame
+// carries a CRC32-C trailer so transit corruption is detectable. This is the
+// encoding the distributed tier's replicas serve.
+func AppendBinaryChecksum(dst []byte, iso float32, meshes ...*geom.Mesh) []byte {
+	return appendBinary(dst, iso, FlagChecksum, meshes...)
+}
+
+func appendBinary(dst []byte, iso float32, flags uint16, meshes ...*geom.Mesh) []byte {
 	tris := 0
 	for _, m := range meshes {
 		tris += len(m.Tris)
 	}
 	need := binMinFrame + binTriSize*tris
+	if flags&FlagChecksum != 0 {
+		need += binCRCSize
+	}
 	if cap(dst)-len(dst) < need {
 		grown := make([]byte, len(dst), len(dst)+need)
 		copy(grown, dst)
 		dst = grown
 	}
+	start := len(dst)
 	var hdr [binMinFrame]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(need-binPrefixSize))
 	copy(hdr[4:8], binMagic[:])
 	binary.LittleEndian.PutUint16(hdr[8:], BinaryVersion)
-	binary.LittleEndian.PutUint16(hdr[10:], 0) // flags
+	binary.LittleEndian.PutUint16(hdr[10:], flags)
 	binary.LittleEndian.PutUint32(hdr[12:], math.Float32bits(iso))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(tris))
 	dst = append(dst, hdr[:]...)
@@ -107,12 +145,22 @@ func AppendBinary(dst []byte, iso float32, meshes ...*geom.Mesh) []byte {
 			dst = append(dst, rec[:]...)
 		}
 	}
+	if flags&FlagChecksum != 0 {
+		var crc [binCRCSize]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(dst[start+binPrefixSize:], crcTable))
+		dst = append(dst, crc[:]...)
+	}
 	return dst
 }
 
 // EncodeBinary encodes the concatenation of the given meshes as one frame.
 func EncodeBinary(iso float32, meshes ...*geom.Mesh) []byte {
 	return AppendBinary(nil, iso, meshes...)
+}
+
+// EncodeBinaryChecksum encodes one frame with the CRC32-C trailer.
+func EncodeBinaryChecksum(iso float32, meshes ...*geom.Mesh) []byte {
+	return AppendBinaryChecksum(nil, iso, meshes...)
 }
 
 func putVec(b []byte, v geom.Vec3) {
@@ -124,39 +172,77 @@ func putVec(b []byte, v geom.Vec3) {
 // DecodeBinaryHeader validates the fixed-size portion of a frame and
 // returns its isovalue and triangle count without touching the payload —
 // what a router or load driver needs to account for a mesh it only relays.
-// The frame must still be exactly the right length for its count.
+// The frame must still be exactly the right length for its count (and
+// trailer, when the checksum flag is set); the CRC itself is NOT checked
+// here — use VerifyBinary or the full DecodeBinary for that.
 func DecodeBinaryHeader(data []byte) (iso float32, tris int, err error) {
+	iso, tris, _, err = decodeHeader(data)
+	return iso, tris, err
+}
+
+func decodeHeader(data []byte) (iso float32, tris int, flags uint16, err error) {
 	if len(data) < binMinFrame {
-		return 0, 0, binErr("%d bytes, need at least %d", len(data), binMinFrame)
+		return 0, 0, 0, binErr("%d bytes, need at least %d", len(data), binMinFrame)
 	}
 	n := binary.LittleEndian.Uint32(data[0:])
 	if uint64(n) != uint64(len(data)-binPrefixSize) {
-		return 0, 0, binErr("length prefix %d, frame carries %d bytes", n, len(data)-binPrefixSize)
+		return 0, 0, 0, binErr("length prefix %d, frame carries %d bytes", n, len(data)-binPrefixSize)
 	}
 	if [4]byte(data[4:8]) != binMagic {
-		return 0, 0, binErr("bad magic %q", data[4:8])
+		return 0, 0, 0, binErr("bad magic %q", data[4:8])
 	}
 	if v := binary.LittleEndian.Uint16(data[8:]); v != BinaryVersion {
-		return 0, 0, binErr("version %d, decoder speaks %d", v, BinaryVersion)
+		return 0, 0, 0, binErr("version %d, decoder speaks %d", v, BinaryVersion)
 	}
-	if f := binary.LittleEndian.Uint16(data[10:]); f != 0 {
-		return 0, 0, binErr("reserved flags %#x set", f)
+	flags = binary.LittleEndian.Uint16(data[10:])
+	if flags&^FlagChecksum != 0 {
+		return 0, 0, 0, binErr("reserved flags %#x set", flags)
 	}
 	count := binary.LittleEndian.Uint32(data[16:])
 	payload := uint64(len(data) - binMinFrame)
+	if flags&FlagChecksum != 0 {
+		if payload < binCRCSize {
+			return 0, 0, 0, binErr("checksum flag set on a frame too short for a trailer")
+		}
+		payload -= binCRCSize
+	}
 	if uint64(count)*binTriSize != payload {
-		return 0, 0, binErr("%d triangles declared, payload holds %d bytes (want %d)",
+		return 0, 0, 0, binErr("%d triangles declared, payload holds %d bytes (want %d)",
 			count, payload, uint64(count)*binTriSize)
 	}
 	iso = math.Float32frombits(binary.LittleEndian.Uint32(data[12:]))
-	return iso, int(count), nil
+	return iso, int(count), flags, nil
+}
+
+// VerifyBinary checks a frame's structure and, when the checksum flag is
+// set, its CRC32-C trailer, without decoding the payload. A mismatched
+// trailer yields an error satisfying both errors.Is(err, ErrChecksum) and
+// errors.Is(err, ErrBinaryFormat). Frames without the flag verify by
+// structure alone — the format predates the trailer, so absence is legal.
+func VerifyBinary(data []byte) error {
+	_, _, flags, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	if flags&FlagChecksum == 0 {
+		return nil
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-binCRCSize:])
+	if got := crc32.Checksum(data[binPrefixSize:len(data)-binCRCSize], crcTable); got != want {
+		return fmt.Errorf("%w: %w: computed %#08x, frame carries %#08x", ErrBinaryFormat, ErrChecksum, got, want)
+	}
+	return nil
 }
 
 // DecodeBinary decodes exactly one frame from data. Truncated, oversized,
-// or corrupt frames error with ErrBinaryFormat; a successful decode
-// allocates only the triangle slice, whose size is bounded by len(data).
+// or corrupt frames error with ErrBinaryFormat (checksum mismatches also
+// with ErrChecksum); a successful decode allocates only the triangle slice,
+// whose size is bounded by len(data).
 func DecodeBinary(data []byte) (*geom.Mesh, float32, error) {
-	iso, tris, err := DecodeBinaryHeader(data)
+	if err := VerifyBinary(data); err != nil {
+		return nil, 0, err
+	}
+	iso, tris, _, err := decodeHeader(data)
 	if err != nil {
 		return nil, 0, err
 	}

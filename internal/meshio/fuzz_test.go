@@ -35,6 +35,21 @@ func FuzzDecodeBinary(f *testing.F) {
 	binary.LittleEndian.PutUint16(corruptVersion[8:], 2)
 	f.Add(corruptVersion)
 
+	// Checksum-flag frames: valid trailers, a flipped payload byte (CRC must
+	// catch it), a flag with no room for a trailer, and a truncated trailer.
+	f.Add(EncodeBinaryChecksum(0, &geom.Mesh{}))
+	summed := AppendBinaryChecksum(nil, 110, &geom.Mesh{Tris: []geom.Triangle{{
+		A: geom.V(0, 0, 0), B: geom.V(1, 0, 0), C: geom.V(0, 1, 0),
+	}}})
+	f.Add(summed)
+	flipped := append([]byte(nil), summed...)
+	flipped[binMinFrame+5] ^= 0x40
+	f.Add(flipped)
+	flagNoRoom := append([]byte(nil), empty...)
+	binary.LittleEndian.PutUint16(flagNoRoom[10:], FlagChecksum)
+	f.Add(flagNoRoom)
+	f.Add(summed[:len(summed)-2])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, iso, err := DecodeBinary(data)
 		if err != nil {
@@ -52,8 +67,17 @@ func FuzzDecodeBinary(f *testing.F) {
 			t.Fatalf("header peek (%v, %d, %v) disagrees with decode (%v, %d)",
 				piso, ptris, perr, iso, len(m.Tris))
 		}
-		// Round trip: an accepted frame is exactly what the encoder emits.
-		if re := EncodeBinary(iso, m); !bytes.Equal(re, data) {
+		// An accepted frame also verifies (decode is strictly stronger).
+		if verr := VerifyBinary(data); verr != nil {
+			t.Fatalf("decoded frame fails VerifyBinary: %v", verr)
+		}
+		// Round trip: an accepted frame is exactly what the encoder emits
+		// (checksummed frames re-encode through the checksummed variant).
+		re := EncodeBinary(iso, m)
+		if binary.LittleEndian.Uint16(data[10:])&FlagChecksum != 0 {
+			re = EncodeBinaryChecksum(iso, m)
+		}
+		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted frame is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
 		}
 	})

@@ -238,7 +238,11 @@ func NewReplicaServer(srv *Server, cfg ReplicaConfig) *Replica {
 // NewRouter fronts a set of replica addresses with consistent-hash routing:
 // each (time step, quantized isovalue) key has a home replica whose mesh
 // cache stays hot on it, saturation and transport errors fail over along the
-// hash ring, and background probes route around dead replicas.
+// hash ring, and background probes route around dead replicas. The request
+// path is hardened per RouterConfig: per-attempt timeouts, checksum-verified
+// frames retried on the ring successor, hedged requests past HedgeAfter,
+// Retry-After-honoring saturation backoff, and cooldown-based passive
+// revival of marked-down replicas.
 func NewRouter(cfg RouterConfig) (*Router, error) { return dist.NewRouter(cfg) }
 
 // StartDistCluster spawns cfg.Replicas replica servers over one backend on
@@ -255,9 +259,21 @@ func EncodeMeshBinary(iso float32, meshes ...*Mesh) []byte {
 	return meshio.EncodeBinary(iso, meshes...)
 }
 
+// EncodeMeshBinaryChecksum is EncodeMeshBinary with a CRC32-C trailer
+// (flagged in the frame header) so in-flight corruption is detectable —
+// the variant the serving tier's replicas emit.
+func EncodeMeshBinaryChecksum(iso float32, meshes ...*Mesh) []byte {
+	return meshio.EncodeBinaryChecksum(iso, meshes...)
+}
+
+// VerifyMeshBinary checks a frame's structure, and its checksum when the
+// frame carries one, without decoding the geometry.
+func VerifyMeshBinary(data []byte) error { return meshio.VerifyBinary(data) }
+
 // DecodeMeshBinary strictly decodes a binary wire frame. It is safe on
 // untrusted input: any truncation, corruption, or hostile length field
-// yields an error, never a panic or an unbounded allocation.
+// yields an error, never a panic or an unbounded allocation (checksummed
+// frames are verified first).
 func DecodeMeshBinary(data []byte) (*Mesh, float32, error) { return meshio.DecodeBinary(data) }
 
 // ReadMeshBinary reads and decodes one binary frame from r, rejecting frames
